@@ -1,0 +1,89 @@
+// Ablation: number of edge-disjoint paths K available to Spider
+// (Waterfilling). The paper fixes K = 4 (§6.1) and reports Spider within
+// ~5% of max-flow despite the restriction; this bench sweeps K.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/topology.hpp"
+
+int main() {
+  using namespace spider;
+  bench::print_header("bench_ablation_paths",
+                      "path-count ablation for Spider (Waterfilling), §6.1");
+  const bool full = bench::full_scale();
+
+  const graph::Graph g = graph::topology::make_isp32();
+  const std::size_t txns = full ? 100000 : 15000;
+  const workload::Trace trace =
+      workload::generate_trace(g, workload::isp_workload(txns, 200.0, 51));
+  const fluid::PaymentGraph demand =
+      workload::estimate_demand(g.node_count(), trace, 200.0);
+
+  std::printf("%-14s %13s %14s %10s\n", "K paths", "success_ratio",
+              "success_volume", "succeeded");
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    schemes::WaterfillingScheme scheme(k);
+    sim::FlowSimConfig cfg;
+    cfg.end_time = 200.0;
+    cfg.max_retries_per_poll = 2000;
+    sim::FlowSimulator fs(
+        g, std::vector<core::Amount>(g.edge_count(), core::from_units(3000)),
+        scheme, cfg);
+    for (const workload::Transaction& tx : trace) {
+      core::PaymentRequest req;
+      req.src = tx.src;
+      req.dst = tx.dst;
+      req.amount = tx.amount;
+      req.arrival = tx.arrival;
+      fs.add_payment(req);
+    }
+    const sim::Metrics m = fs.run(demand);
+    std::printf("%-14zu %13.3f %14.3f %10llu\n", k, m.success_ratio(),
+                m.success_volume(),
+                static_cast<unsigned long long>(m.succeeded));
+  }
+
+  // Path-set construction (§5.3.1: "K-shortest paths or the K
+  // highest-capacity paths"): Yen k-shortest paths may overlap and share
+  // bottleneck channels; edge-disjoint paths never do.
+  std::printf("\npath-set construction at K=4:\n");
+  std::printf("%-22s %13s %14s\n", "mode", "success_ratio",
+              "success_volume");
+  for (const auto& [mode, label] :
+       {std::pair{schemes::PathMode::kEdgeDisjoint,
+                  "edge-disjoint (paper)"},
+        std::pair{schemes::PathMode::kKShortest, "yen k-shortest"}}) {
+    schemes::WaterfillingScheme scheme(4, mode);
+    sim::FlowSimConfig cfg;
+    cfg.end_time = 200.0;
+    cfg.max_retries_per_poll = 2000;
+    sim::FlowSimulator fs(
+        g, std::vector<core::Amount>(g.edge_count(), core::from_units(3000)),
+        scheme, cfg);
+    for (const workload::Transaction& tx : trace) {
+      core::PaymentRequest req;
+      req.src = tx.src;
+      req.dst = tx.dst;
+      req.amount = tx.amount;
+      req.arrival = tx.arrival;
+      fs.add_payment(req);
+    }
+    const sim::Metrics m = fs.run(demand);
+    std::printf("%-22s %13.3f %14.3f\n", label, m.success_ratio(),
+                m.success_volume());
+  }
+
+  // Compare against the unrestricted max-flow baseline.
+  bench::FlowRunConfig rc;
+  rc.end_time = 200.0;
+  rc.capacity_units = 3000.0;
+  const sim::Metrics mf =
+      bench::run_flow_scheme("max-flow", g, trace, demand, rc);
+  std::printf("%-14s %13.3f %14.3f %10llu\n", "max-flow(all)",
+              mf.success_ratio(), mf.success_volume(),
+              static_cast<unsigned long long>(mf.succeeded));
+  std::printf("\npaper expectation: K=4 is already within ~5%% of max-flow;\n"
+              "K=1 degenerates towards shortest-path.\n");
+  return 0;
+}

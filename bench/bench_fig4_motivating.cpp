@@ -1,0 +1,50 @@
+// Regenerates the paper's §5.1 motivating example (Fig. 4): throughput of
+// shortest-path balanced routing vs optimal balanced routing on the
+// 5-node topology, and the resulting flow assignment.
+
+#include <cstdio>
+#include <limits>
+
+#include "bench_util.hpp"
+#include "fluid/throughput.hpp"
+#include "graph/topology.hpp"
+
+int main() {
+  using namespace spider;
+  bench::print_header("bench_fig4_motivating",
+                      "Fig. 4 (balanced routing example, §5.1)");
+
+  const graph::Graph g = graph::topology::make_fig4_example();
+  const fluid::PaymentGraph h = fluid::fig4_payment_graph();
+  const std::vector<double> unlimited(g.edge_count(),
+                                      std::numeric_limits<double>::infinity());
+
+  const auto sp = fluid::solve_path_lp(
+      g, unlimited, h, fluid::k_shortest_path_set(g, h, 1));
+  const auto opt = fluid::solve_path_lp(g, unlimited, h,
+                                        fluid::all_trails_path_set(g, h));
+
+  std::printf("%-38s %10s %10s\n", "quantity", "paper", "measured");
+  std::printf("%-38s %10s %10.2f\n", "total demand", "12", h.total_demand());
+  std::printf("%-38s %10s %10.2f\n",
+              "shortest-path balanced throughput (4b)", "5", sp.throughput);
+  std::printf("%-38s %10s %10.2f\n", "optimal balanced throughput (4c)",
+              "8", opt.throughput);
+  // The paper text says "8/12 = 75%"; 8/12 is 66.7% -- we print the
+  // faithful ratio of the two stated quantities.
+  std::printf("%-38s %10s %9.0f%%\n", "fraction of demand routed",
+              "75%*", 100.0 * opt.throughput / h.total_demand());
+  std::printf("  (*paper's text says 8/12 = 75%%; 8/12 is 66.7%%)\n");
+
+  std::printf("\noptimal flow decomposition (paper: node 2 routes one unit\n"
+              "of its demand to node 4 via 2->3->4):\n");
+  bool via_detour = false;
+  for (const fluid::PathFlow& f : opt.flows) {
+    std::printf("  %u -> %u  rate %.2f  via %s\n", f.src + 1, f.dst + 1,
+                f.rate, graph::to_string(f.path, g).c_str());
+    if (f.src == 1 && f.dst == 3 && f.path.length() == 2) via_detour = true;
+  }
+  std::printf("2->4 demand uses the 2->3->4 detour: %s\n",
+              via_detour ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Regenerates Fig. 7: effect of per-link capacity on success ratio and
+// success volume on the ISP topology, for every scheme. The paper sweeps
+// 10000..100000 XRP per link; the reduced default divides capacities and
+// load by 10 (same capital-to-load ratio).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/topology.hpp"
+
+int main() {
+  using namespace spider;
+  bench::print_header("bench_fig7_capacity",
+                      "Fig. 7 (capacity sweep on the ISP topology, §6.2)");
+  const bool full = bench::full_scale();
+
+  const graph::Graph g = graph::topology::make_isp32();
+  const std::size_t txns = full ? 200000 : 12000;
+  const workload::Trace trace =
+      workload::generate_trace(g, workload::isp_workload(txns, 200.0, 31));
+  const fluid::PaymentGraph demand =
+      workload::estimate_demand(g.node_count(), trace, 200.0);
+
+  std::vector<double> caps_units;
+  if (full) {
+    caps_units = {10000, 20000, 30000, 50000, 100000};
+  } else {
+    caps_units = {1000, 2000, 3000, 5000, 10000};
+  }
+
+  std::printf("%-22s", "scheme \\ capacity");
+  for (const double c : caps_units) std::printf(" %9.0f", c);
+  std::printf("\n");
+
+  for (const std::string& name : schemes::all_scheme_names()) {
+    std::vector<double> ratios, volumes;
+    for (const double cap : caps_units) {
+      bench::FlowRunConfig rc;
+      rc.capacity_units = cap;
+      rc.end_time = 200.0;
+      const sim::Metrics m =
+          bench::run_flow_scheme(name, g, trace, demand, rc);
+      ratios.push_back(m.success_ratio());
+      volumes.push_back(m.success_volume());
+    }
+    std::printf("%-22s", (name + " [ratio]").c_str());
+    for (const double r : ratios) std::printf(" %9.3f", r);
+    std::printf("\n%-22s", (name + " [volume]").c_str());
+    for (const double v : volumes) std::printf(" %9.3f", v);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\npaper's Fig. 7 expectations:\n"
+      "  * success rises with capacity for every scheme;\n"
+      "  * Spider (Waterfilling) reaches a target success with the least\n"
+      "    locked-up capital;\n"
+      "  * Spider (LP) is the least sensitive to capacity (it avoids\n"
+      "    imbalance by construction).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+// Shared helpers for the figure-regeneration harnesses in bench/.
+//
+// Each bench binary regenerates one table/figure of the paper and prints
+// paper-reported vs measured values. By default the workloads are scaled
+// down to finish in seconds on a laptop; set SPIDER_FULL=1 in the
+// environment for paper-scale runs (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "schemes/schemes.hpp"
+#include "sim/flow_sim.hpp"
+#include "workload/workload.hpp"
+
+namespace spider::bench {
+
+inline bool full_scale() {
+  const char* v = std::getenv("SPIDER_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+struct FlowRunConfig {
+  double capacity_units = 30000.0 / 10.0;  // per-channel escrow
+  double end_time = 200.0;
+  double delta = 0.5;
+  std::size_t max_retries_per_poll = 2000;
+};
+
+inline sim::Metrics run_flow_scheme(const std::string& scheme_name,
+                                    const graph::Graph& g,
+                                    const workload::Trace& trace,
+                                    const fluid::PaymentGraph& demand,
+                                    const FlowRunConfig& rc) {
+  const auto scheme = schemes::make_scheme(scheme_name);
+  sim::FlowSimConfig cfg;
+  cfg.end_time = rc.end_time;
+  cfg.delta = rc.delta;
+  cfg.max_retries_per_poll = rc.max_retries_per_poll;
+  sim::FlowSimulator fs(
+      g,
+      std::vector<core::Amount>(g.edge_count(),
+                                core::from_units(rc.capacity_units)),
+      *scheme, cfg);
+  for (const workload::Transaction& tx : trace) {
+    core::PaymentRequest req;
+    req.src = tx.src;
+    req.dst = tx.dst;
+    req.amount = tx.amount;
+    req.arrival = tx.arrival;
+    fs.add_payment(req);
+  }
+  return fs.run(demand);
+}
+
+inline void print_header(const char* bench, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", bench);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale: %s (set SPIDER_FULL=1 for paper scale)\n",
+              full_scale() ? "FULL (paper)" : "reduced");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace spider::bench

@@ -1,0 +1,114 @@
+// Demonstrates the packet-level Spider architecture (§4): MTU splitting,
+// hash-locked hop-by-hop forwarding, router queues that drain as funds
+// return, non-atomic partial delivery, and AMP-style atomic payments.
+//
+// Build & run:  ./build/examples/packet_network
+
+#include <cstdio>
+
+#include "graph/topology.hpp"
+#include "sim/packet_sim.hpp"
+
+namespace {
+
+void report(const char* title, const spider::sim::Metrics& m) {
+  std::printf("%s\n", title);
+  std::printf("  attempted=%llu succeeded=%llu partial=%llu failed=%llu\n",
+              static_cast<unsigned long long>(m.attempted),
+              static_cast<unsigned long long>(m.succeeded),
+              static_cast<unsigned long long>(m.partial),
+              static_cast<unsigned long long>(m.failed));
+  std::printf("  delivered=%s units_sent=%llu\n\n",
+              spider::core::amount_to_string(m.delivered_volume).c_str(),
+              static_cast<unsigned long long>(m.units_sent));
+}
+
+}  // namespace
+
+int main() {
+  using namespace spider;
+  using core::from_units;
+  using core::PaymentKind;
+
+  // Scenario 1: a payment larger than any single channel balance crosses
+  // a ring by being split into 10-unit transaction units over two
+  // disjoint paths.
+  {
+    const graph::Graph g = graph::topology::make_ring(4);
+    sim::PacketSimConfig cfg;
+    cfg.end_time = 30;
+    cfg.mtu = from_units(10);
+    sim::PacketSimulator sim(g,
+                             std::vector<core::Amount>(4, from_units(100)),
+                             cfg);
+    core::PaymentRequest req;
+    req.src = 0;
+    req.dst = 2;
+    req.amount = from_units(80);
+    req.arrival = 1.0;
+    req.kind = PaymentKind::kNonAtomic;
+    sim.submit(req);
+    report("1) 80-unit payment, 10-unit MTU, two 50-unit paths:",
+           sim.run());
+  }
+
+  // Scenario 2: opposing payments refill each other's channel direction;
+  // units that found a dry channel wait in a router queue (Fig. 3) and
+  // drain when the reverse traffic settles.
+  {
+    const graph::Graph g = graph::topology::make_line(2);
+    sim::PacketSimConfig cfg;
+    cfg.end_time = 60;
+    cfg.mtu = from_units(10);
+    sim::PacketSimulator sim(g, std::vector<core::Amount>{from_units(100)},
+                             cfg);
+    core::PaymentRequest a;
+    a.src = 0;
+    a.dst = 1;
+    a.amount = from_units(80);  // > the 50 available: queues at router 0
+    a.arrival = 1.0;
+    sim.submit(a);
+    core::PaymentRequest b;
+    b.src = 1;
+    b.dst = 0;
+    b.amount = from_units(60);  // refills the 0->1 direction
+    b.arrival = 5.0;
+    sim.submit(b);
+    report("2) head-of-line queueing drained by reverse traffic:",
+           sim.run());
+  }
+
+  // Scenario 3: atomic (AMP) all-or-nothing. The first payment fits and
+  // settles only when every unit has confirmed; the second exceeds the
+  // network's capacity, delivers nothing, and all locks unwind.
+  {
+    const graph::Graph g = graph::topology::make_line(3);
+    sim::PacketSimConfig cfg;
+    cfg.end_time = 30;
+    cfg.mtu = from_units(5);
+    sim::PacketSimulator sim(g,
+                             std::vector<core::Amount>(2, from_units(100)),
+                             cfg);
+    core::PaymentRequest ok;
+    ok.src = 0;
+    ok.dst = 2;
+    ok.amount = from_units(30);
+    ok.arrival = 1.0;
+    ok.kind = PaymentKind::kAtomic;
+    ok.deadline = 10.0;
+    sim.submit(ok);
+    core::PaymentRequest too_big;
+    too_big.src = 0;
+    too_big.dst = 2;
+    too_big.amount = from_units(90);
+    too_big.arrival = 12.0;
+    too_big.kind = PaymentKind::kAtomic;
+    too_big.deadline = 20.0;
+    sim.submit(too_big);
+    const sim::Metrics m = sim.run();
+    report("3) atomic payments (AMP secret-shared keys):", m);
+    std::printf("  funds conserved: %s\n",
+                sim.network().conserves_funds() ? "yes" : "NO (bug!)");
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "chain/blockchain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::chain {
+
+std::string to_string(TxKind k) {
+  switch (k) {
+    case TxKind::kChannelOpen:
+      return "channel-open";
+    case TxKind::kChannelClose:
+      return "channel-close";
+    case TxKind::kRebalanceDeposit:
+      return "rebalance-deposit";
+    case TxKind::kPenalty:
+      return "penalty";
+    case TxKind::kPayment:
+      return "payment";
+  }
+  return "unknown";
+}
+
+Blockchain::Blockchain(BlockchainConfig config) : config_(config) {
+  if (config_.block_interval <= 0 || config_.block_capacity == 0) {
+    throw std::invalid_argument("Blockchain: bad config");
+  }
+}
+
+TxId Blockchain::submit(TxKind kind, Amount value, Amount fee,
+                        TimePoint now) {
+  if (value < 0 || fee < 0) {
+    throw std::invalid_argument("Blockchain::submit: negative value/fee");
+  }
+  if (fee < config_.min_relay_fee) return kInvalidTx;
+  Transaction tx;
+  tx.id = next_id_++;
+  tx.kind = kind;
+  tx.value = value;
+  tx.fee = fee;
+  tx.submitted = now;
+  mempool_.push_back(tx);
+  return tx.id;
+}
+
+bool Blockchain::bump_fee(TxId id, Amount new_fee) {
+  for (Transaction& tx : mempool_) {
+    if (tx.id == id) {
+      if (new_fee <= tx.fee) return false;
+      tx.fee = new_fee;
+      return true;
+    }
+  }
+  return false;
+}
+
+const Block& Blockchain::mine_block(TimePoint now) {
+  // Highest fee first; FIFO within equal fees (ids ascend with time).
+  std::stable_sort(mempool_.begin(), mempool_.end(),
+                   [](const Transaction& a, const Transaction& b) {
+                     if (a.fee != b.fee) return a.fee > b.fee;
+                     return a.id < b.id;
+                   });
+  Block block;
+  block.height = blocks_.size() + 1;
+  block.time = now;
+  const std::size_t take = std::min(config_.block_capacity, mempool_.size());
+  block.txs.assign(mempool_.begin(),
+                   mempool_.begin() + static_cast<std::ptrdiff_t>(take));
+  mempool_.erase(mempool_.begin(),
+                 mempool_.begin() + static_cast<std::ptrdiff_t>(take));
+  for (const Transaction& tx : block.txs) {
+    block.total_fees += tx.fee;
+    confirmed_.emplace(tx.id, now);
+  }
+  total_fees_ += block.total_fees;
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+bool Blockchain::is_confirmed(TxId id) const {
+  return confirmed_.contains(id);
+}
+
+std::optional<TimePoint> Blockchain::confirmation_time(TxId id) const {
+  const auto it = confirmed_.find(id);
+  if (it == confirmed_.end()) return std::nullopt;
+  return it->second;
+}
+
+Amount Blockchain::estimate_fee() const {
+  if (mempool_.size() < config_.block_capacity) {
+    return config_.min_relay_fee;
+  }
+  // The capacity-th highest fee currently waiting, plus one milli-unit.
+  std::vector<Amount> fees;
+  fees.reserve(mempool_.size());
+  for (const Transaction& tx : mempool_) fees.push_back(tx.fee);
+  std::nth_element(fees.begin(),
+                   fees.begin() +
+                       static_cast<std::ptrdiff_t>(config_.block_capacity - 1),
+                   fees.end(), std::greater<>());
+  return fees[config_.block_capacity - 1] + 1;
+}
+
+}  // namespace spider::chain

@@ -1,0 +1,117 @@
+#pragma once
+// A minimal blockchain substrate.
+//
+// The paper's whole premise (§1) is that on-chain transactions are slow
+// (block intervals, confirmation latency) and expensive (a fee market
+// under limited block capacity), which is why payment channels exist and
+// why on-chain rebalancing carries the gamma cost of §5.2.3. This module
+// models exactly those properties: a mempool, fee-priority block
+// assembly under a capacity limit, deterministic confirmation times, and
+// a simple next-block fee estimator. Channel funding/closing/rebalancing
+// and dispute transactions (chain/lifecycle.hpp) ride on it.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spider::chain {
+
+using core::Amount;
+using core::TimePoint;
+
+using TxId = std::uint64_t;
+inline constexpr TxId kInvalidTx = 0;
+
+enum class TxKind : std::uint8_t {
+  kChannelOpen,      // escrow funding (§2)
+  kChannelClose,     // publishing the final channel balance
+  kRebalanceDeposit, // on-chain rebalancing (§5.2.3)
+  kPenalty,          // punishing a revoked-state broadcast (§2)
+  kPayment,          // plain on-chain payment (the slow path)
+};
+
+[[nodiscard]] std::string to_string(TxKind k);
+
+struct Transaction {
+  TxId id = kInvalidTx;
+  TxKind kind = TxKind::kPayment;
+  Amount value = 0;  // economic value carried
+  Amount fee = 0;    // miner fee offered
+  TimePoint submitted = 0;
+};
+
+struct Block {
+  std::uint64_t height = 0;
+  TimePoint time = 0;
+  std::vector<Transaction> txs;
+  Amount total_fees = 0;
+};
+
+struct BlockchainConfig {
+  /// Seconds between blocks (Bitcoin ~600; we default to 10 so channel
+  /// lifecycles fit inside simulation horizons).
+  TimePoint block_interval = 10.0;
+  /// Transactions per block; the scarcity that creates the fee market.
+  std::size_t block_capacity = 100;
+  /// Transactions offering less than this never confirm.
+  Amount min_relay_fee = 0;
+};
+
+/// Deterministic single-chain blockchain: no forks, no adversarial
+/// miners -- exactly the consensus abstraction payment channel papers
+/// assume. Mining is driven by the caller (or a simulator event loop)
+/// via `mine_block`.
+class Blockchain {
+ public:
+  explicit Blockchain(BlockchainConfig config = {});
+
+  [[nodiscard]] const BlockchainConfig& config() const { return config_; }
+
+  /// Submits a transaction to the mempool. Returns its id, or kInvalidTx
+  /// if the fee is below the relay floor (caller should bump and retry).
+  TxId submit(TxKind kind, Amount value, Amount fee, TimePoint now);
+
+  /// Replace-by-fee: bump the fee of a pending transaction. False if the
+  /// tx is unknown, already confirmed, or the new fee is not higher.
+  bool bump_fee(TxId id, Amount new_fee);
+
+  /// Mines the next block at time `now`: takes the highest-fee
+  /// transactions from the mempool (ties by submission order), up to the
+  /// block capacity.
+  const Block& mine_block(TimePoint now);
+
+  [[nodiscard]] bool is_confirmed(TxId id) const;
+
+  /// Block timestamp at which `id` confirmed (nullopt if pending).
+  [[nodiscard]] std::optional<TimePoint> confirmation_time(TxId id) const;
+
+  [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
+
+  /// Fee needed to make it into the next block if it were mined now:
+  /// one unit above the capacity-th highest mempool fee (or the relay
+  /// floor when the mempool has room).
+  [[nodiscard]] Amount estimate_fee() const;
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
+
+  /// Total miner fees collected across all blocks.
+  [[nodiscard]] Amount total_fees_collected() const {
+    return total_fees_;
+  }
+
+ private:
+  BlockchainConfig config_;
+  TxId next_id_ = 1;
+  std::vector<Transaction> mempool_;
+  std::vector<Block> blocks_;
+  std::unordered_map<TxId, TimePoint> confirmed_;
+  Amount total_fees_ = 0;
+};
+
+}  // namespace spider::chain

@@ -1,0 +1,137 @@
+#include "chain/lifecycle.hpp"
+
+#include <stdexcept>
+
+namespace spider::chain {
+
+std::string to_string(LifecycleState s) {
+  switch (s) {
+    case LifecycleState::kOpening:
+      return "opening";
+    case LifecycleState::kOpen:
+      return "open";
+    case LifecycleState::kClosing:
+      return "closing";
+    case LifecycleState::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+ChannelLifecycle::ChannelLifecycle(Blockchain& chain, Amount deposit_a,
+                                   Amount deposit_b, Amount fee,
+                                   TimePoint now, TimePoint dispute_window)
+    : chain_(chain), dispute_window_(dispute_window) {
+  if (deposit_a < 0 || deposit_b < 0 || deposit_a + deposit_b <= 0) {
+    throw std::invalid_argument("ChannelLifecycle: bad deposits");
+  }
+  latest_ = BalanceSnapshot{0, deposit_a, deposit_b};
+  funding_tx_ = chain_.submit(TxKind::kChannelOpen, deposit_a + deposit_b,
+                              fee, now);
+  if (funding_tx_ == kInvalidTx) {
+    throw std::invalid_argument(
+        "ChannelLifecycle: funding fee below relay floor");
+  }
+}
+
+std::optional<Payout> ChannelLifecycle::poll(TimePoint now) {
+  switch (state_) {
+    case LifecycleState::kOpening:
+      if (chain_.is_confirmed(funding_tx_)) state_ = LifecycleState::kOpen;
+      return std::nullopt;
+    case LifecycleState::kOpen:
+    case LifecycleState::kClosed:
+      return std::nullopt;
+    case LifecycleState::kClosing:
+      break;
+  }
+  // Closing: wait for the close tx, then (for unilateral closes) for the
+  // dispute window.
+  if (!close_confirmed_at_) {
+    close_confirmed_at_ = chain_.confirmation_time(close_tx_);
+    if (!close_confirmed_at_) return std::nullopt;
+  }
+  if (contested_) {
+    // Penalty path resolved immediately at contest time (the penalty tx
+    // was already submitted); payout computed there.
+    state_ = LifecycleState::kClosed;
+    const Amount everything = total_escrow();
+    return published_by_a_ ? Payout{0, everything}
+                           : Payout{everything, 0};
+  }
+  if (cooperative_ || now >= *close_confirmed_at_ + dispute_window_) {
+    state_ = LifecycleState::kClosed;
+    return Payout{published_.balance_a, published_.balance_b};
+  }
+  return std::nullopt;
+}
+
+bool ChannelLifecycle::update_balance(bool from_a, Amount amount) {
+  if (state_ != LifecycleState::kOpen || amount <= 0) return false;
+  const Amount payer = from_a ? latest_.balance_a : latest_.balance_b;
+  if (payer < amount) return false;
+  ++latest_.revision;
+  if (from_a) {
+    latest_.balance_a -= amount;
+    latest_.balance_b += amount;
+  } else {
+    latest_.balance_b -= amount;
+    latest_.balance_a += amount;
+  }
+  return true;
+}
+
+bool ChannelLifecycle::close_cooperative(Amount fee, TimePoint now) {
+  if (state_ != LifecycleState::kOpen) return false;
+  close_tx_ = chain_.submit(TxKind::kChannelClose, total_escrow(), fee, now);
+  if (close_tx_ == kInvalidTx) return false;
+  published_ = latest_;
+  cooperative_ = true;
+  state_ = LifecycleState::kClosing;
+  return true;
+}
+
+bool ChannelLifecycle::close_unilateral(const BalanceSnapshot& snapshot,
+                                        bool by_a, Amount fee,
+                                        TimePoint now) {
+  if (state_ != LifecycleState::kOpen) return false;
+  // A snapshot "was signed" iff its revision existed and its balances are
+  // consistent with the escrow; we accept any revision <= latest with the
+  // right total (the cheater replays a genuinely signed old state).
+  if (snapshot.revision > latest_.revision ||
+      snapshot.balance_a + snapshot.balance_b != total_escrow()) {
+    return false;
+  }
+  close_tx_ = chain_.submit(TxKind::kChannelClose, total_escrow(), fee, now);
+  if (close_tx_ == kInvalidTx) return false;
+  published_ = snapshot;
+  published_by_a_ = by_a;
+  cooperative_ = false;
+  state_ = LifecycleState::kClosing;
+  return true;
+}
+
+bool ChannelLifecycle::contest(const BalanceSnapshot& newer, Amount fee,
+                               TimePoint now) {
+  if (state_ != LifecycleState::kClosing || cooperative_ || contested_) {
+    return false;
+  }
+  // The challenge only applies against a revoked (older) revision, with
+  // a genuinely newer signed state, inside the dispute window.
+  if (newer.revision <= published_.revision ||
+      newer.revision > latest_.revision ||
+      newer.balance_a + newer.balance_b != total_escrow()) {
+    return false;
+  }
+  if (close_confirmed_at_ &&
+      now > *close_confirmed_at_ + dispute_window_) {
+    return false;  // too late: the cheater already escaped
+  }
+  const TxId penalty =
+      chain_.submit(TxKind::kPenalty, total_escrow(), fee, now);
+  if (penalty == kInvalidTx) return false;
+  contested_ = true;
+  return true;
+}
+
+}  // namespace spider::chain

@@ -1,0 +1,113 @@
+#pragma once
+// Payment channel lifecycle on top of the blockchain (paper §2, Fig. 1).
+//
+// Two parties escrow funds in a funding transaction; every off-chain
+// payment produces a new mutually-signed balance snapshot (a "commitment
+// revision") that supersedes all earlier ones. The channel ends in one
+// of three ways:
+//  * cooperative close: both publish the latest balance;
+//  * honest unilateral close: one party publishes the latest revision
+//    and, after a dispute window, receives its balance;
+//  * cheating attempt: a party publishes an *old* revision; if the other
+//    party responds inside the dispute window with a newer revision, the
+//    cheater forfeits its entire balance to the victim ("the cheating
+//    party loses all the money they escrowed", §2).
+//
+// Signatures are modelled as possession of the revision objects; the
+// state machine, timing, and penalty economics are fully implemented.
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/blockchain.hpp"
+#include "core/types.hpp"
+
+namespace spider::chain {
+
+/// A mutually-signed off-chain balance statement.
+struct BalanceSnapshot {
+  std::uint64_t revision = 0;
+  Amount balance_a = 0;
+  Amount balance_b = 0;
+
+  friend bool operator==(const BalanceSnapshot&,
+                         const BalanceSnapshot&) = default;
+};
+
+enum class LifecycleState : std::uint8_t {
+  kOpening,    // funding tx submitted, not yet confirmed
+  kOpen,       // usable off-chain
+  kClosing,    // unilateral close published, dispute window running
+  kClosed,     // funds paid out
+};
+
+[[nodiscard]] std::string to_string(LifecycleState s);
+
+struct Payout {
+  Amount to_a = 0;
+  Amount to_b = 0;
+};
+
+/// One channel's on-chain lifecycle. Which side is "A"/"B" follows the
+/// core::Side convention.
+class ChannelLifecycle {
+ public:
+  /// Submits the funding transaction (deposits escrowed by each side).
+  /// The channel becomes usable once `poll` sees the tx confirmed.
+  ChannelLifecycle(Blockchain& chain, Amount deposit_a, Amount deposit_b,
+                   Amount fee, TimePoint now, TimePoint dispute_window = 30.0);
+
+  [[nodiscard]] LifecycleState state() const { return state_; }
+  [[nodiscard]] Amount total_escrow() const {
+    return latest_.balance_a + latest_.balance_b;
+  }
+  [[nodiscard]] const BalanceSnapshot& latest() const { return latest_; }
+
+  /// Advances the state machine against the chain (call after blocks are
+  /// mined). Returns the payout when the channel reaches kClosed on this
+  /// call, nullopt otherwise.
+  std::optional<Payout> poll(TimePoint now);
+
+  /// Records an off-chain payment inside the channel: `amount` moves
+  /// from `from_a ? A : B` to the other side, producing a new revision.
+  /// Only legal while kOpen and covered by the payer's balance.
+  bool update_balance(bool from_a, Amount amount);
+
+  /// Cooperative close: publish the latest snapshot; no dispute window.
+  /// Returns false unless the channel is open.
+  bool close_cooperative(Amount fee, TimePoint now);
+
+  /// Unilateral close publishing `snapshot` (either the latest one --
+  /// honest -- or an earlier, revoked one -- cheating). `by_a` says who
+  /// publishes. Returns false unless open and the snapshot was actually
+  /// signed at some point.
+  bool close_unilateral(const BalanceSnapshot& snapshot, bool by_a,
+                        Amount fee, TimePoint now);
+
+  /// The counterparty contests a pending unilateral close with a newer
+  /// revision. If the published snapshot was revoked, the closer
+  /// forfeits everything (penalty tx). Returns true if the challenge
+  /// applies. Must be called before the dispute window elapses.
+  bool contest(const BalanceSnapshot& newer, Amount fee, TimePoint now);
+
+  /// Snapshot history size (revisions ever signed).
+  [[nodiscard]] std::uint64_t revision() const { return latest_.revision; }
+
+ private:
+  Blockchain& chain_;
+  LifecycleState state_ = LifecycleState::kOpening;
+  BalanceSnapshot latest_;
+  TimePoint dispute_window_;
+
+  TxId funding_tx_ = kInvalidTx;
+  TxId close_tx_ = kInvalidTx;
+
+  // Pending unilateral close.
+  BalanceSnapshot published_;
+  bool published_by_a_ = false;
+  bool contested_ = false;
+  bool cooperative_ = false;
+  std::optional<TimePoint> close_confirmed_at_;
+};
+
+}  // namespace spider::chain

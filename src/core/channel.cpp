@@ -1,0 +1,63 @@
+#include "core/channel.hpp"
+
+#include <stdexcept>
+
+namespace spider::core {
+
+Channel::Channel(Amount deposit_a, Amount deposit_b)
+    : balance_{deposit_a, deposit_b}, total_(deposit_a + deposit_b) {
+  if (deposit_a < 0 || deposit_b < 0) {
+    throw std::invalid_argument("Channel: negative deposit");
+  }
+  if (total_ == 0) {
+    throw std::invalid_argument("Channel: empty channel");
+  }
+}
+
+std::optional<HtlcId> Channel::offer_htlc(Side side, Amount amount,
+                                          LockHash lock) {
+  if (amount <= 0) return std::nullopt;
+  const int s = static_cast<int>(side);
+  if (balance_[s] < amount) return std::nullopt;
+  balance_[s] -= amount;
+  pending_[s] += amount;
+  const HtlcId id = next_id_++;
+  htlcs_.emplace(id, Htlc{side, amount, lock});
+  assert(conserves_funds());
+  return id;
+}
+
+bool Channel::settle_htlc(HtlcId id, Preimage key) {
+  const auto it = htlcs_.find(id);
+  if (it == htlcs_.end()) return false;
+  if (!unlocks(key, it->second.lock)) return false;
+  const int offerer = static_cast<int>(it->second.offerer);
+  const int receiver = static_cast<int>(opposite(it->second.offerer));
+  pending_[offerer] -= it->second.amount;
+  balance_[receiver] += it->second.amount;
+  htlcs_.erase(it);
+  assert(conserves_funds());
+  return true;
+}
+
+bool Channel::fail_htlc(HtlcId id) {
+  const auto it = htlcs_.find(id);
+  if (it == htlcs_.end()) return false;
+  const int offerer = static_cast<int>(it->second.offerer);
+  pending_[offerer] -= it->second.amount;
+  balance_[offerer] += it->second.amount;
+  htlcs_.erase(it);
+  assert(conserves_funds());
+  return true;
+}
+
+void Channel::deposit(Side side, Amount amount) {
+  if (amount <= 0) {
+    throw std::invalid_argument("Channel::deposit: amount must be > 0");
+  }
+  balance_[static_cast<int>(side)] += amount;
+  total_ += amount;
+  assert(conserves_funds());
+}
+
+}  // namespace spider::core

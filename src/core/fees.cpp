@@ -1,0 +1,26 @@
+#include "core/fees.hpp"
+
+#include <stdexcept>
+
+namespace spider::core {
+
+std::vector<Amount> hop_amounts(const FeePolicy& policy, Amount deliver,
+                                std::size_t hop_count) {
+  if (hop_count == 0 || deliver <= 0) {
+    throw std::invalid_argument("hop_amounts: need hops >= 1, deliver > 0");
+  }
+  std::vector<Amount> amounts(hop_count, deliver);
+  // Walk from the destination hop backwards; each forwarding router adds
+  // its fee on the amount it sends downstream.
+  for (std::size_t i = hop_count - 1; i-- > 0;) {
+    amounts[i] = amounts[i + 1] + policy.fee_for(amounts[i + 1]);
+  }
+  return amounts;
+}
+
+Amount total_fee(const FeePolicy& policy, Amount deliver,
+                 std::size_t hop_count) {
+  return hop_amounts(policy, deliver, hop_count).front() - deliver;
+}
+
+}  // namespace spider::core

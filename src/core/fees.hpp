@@ -1,0 +1,47 @@
+#pragma once
+// Routing fees. Intermediate routers relay payments for a fee (paper §2:
+// "To incentivize Charlie to participate, he receives a routing fee";
+// fee-setting economics are the paper's §7 future work). We implement
+// the Lightning-style schedule: a flat base fee plus a proportional
+// (parts-per-million) component per forwarded hop.
+//
+// For a payment delivering `A` to the destination over hops
+// h_0 .. h_{n-1}, each intermediate router (the node between h_i and
+// h_{i+1}) collects `fee(amount it forwards)`. Amounts therefore grow
+// towards the sender: the last hop carries A, the hop before carries
+// A + fee(A), and so on. `hop_amounts` computes the schedule.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spider::core {
+
+struct FeePolicy {
+  /// Flat fee per forwarded hop, in milli-units.
+  Amount base = 0;
+  /// Proportional fee per forwarded hop, in parts per million.
+  std::int64_t proportional_ppm = 0;
+
+  /// Fee an intermediate router charges to forward `amount`.
+  [[nodiscard]] Amount fee_for(Amount amount) const {
+    return base + (amount * proportional_ppm) / 1'000'000;
+  }
+
+  [[nodiscard]] bool free() const {
+    return base == 0 && proportional_ppm == 0;
+  }
+};
+
+/// Per-hop amounts for delivering `deliver` over `hop_count` hops
+/// (front = first hop from the sender, back = final hop == `deliver`).
+/// With `hop_count` hops there are `hop_count - 1` forwarding routers.
+[[nodiscard]] std::vector<Amount> hop_amounts(const FeePolicy& policy,
+                                              Amount deliver,
+                                              std::size_t hop_count);
+
+/// Total fee the sender pays: hop_amounts.front() - deliver.
+[[nodiscard]] Amount total_fee(const FeePolicy& policy, Amount deliver,
+                               std::size_t hop_count);
+
+}  // namespace spider::core

@@ -1,0 +1,59 @@
+#include "core/htlc.hpp"
+
+namespace spider::core {
+
+LockHash HtlcKeyRing::create_lock(TxUnitId unit) {
+  const Preimage key = rng_();
+  unit_keys_[unit] = UnitKey{key, false};
+  return hash_preimage(key);
+}
+
+std::vector<LockHash> HtlcKeyRing::create_atomic_locks(
+    PaymentId payment, std::uint32_t unit_count) {
+  // Additive (XOR) secret sharing of a base key: unit key i is a fresh
+  // random share; the final share is chosen so all shares XOR to the base
+  // key. Each unit is locked under the hash of its share XOR base -- the
+  // receiver reconstructs the base key only once every share arrived.
+  const Preimage base = rng_();
+  atomic_[payment] = AtomicPayment{base, unit_count, false};
+  std::vector<LockHash> locks;
+  locks.reserve(unit_count);
+  Preimage running = base;
+  for (std::uint32_t i = 0; i < unit_count; ++i) {
+    Preimage share;
+    if (i + 1 < unit_count) {
+      share = rng_();
+      running ^= share;
+    } else {
+      share = running;  // last share completes the XOR to base
+    }
+    const TxUnitId unit{payment, i};
+    unit_keys_[unit] = UnitKey{share, false};
+    locks.push_back(hash_preimage(share));
+  }
+  return locks;
+}
+
+std::optional<Preimage> HtlcKeyRing::release(TxUnitId unit) {
+  const auto it = unit_keys_.find(unit);
+  if (it == unit_keys_.end() || it->second.released) return std::nullopt;
+  it->second.released = true;
+  return it->second.key;
+}
+
+std::optional<Preimage> HtlcKeyRing::release_atomic(
+    PaymentId payment, std::uint32_t confirmed_units) {
+  const auto it = atomic_.find(payment);
+  if (it == atomic_.end() || it->second.released) return std::nullopt;
+  if (confirmed_units < it->second.unit_count) return std::nullopt;
+  it->second.released = true;
+  return it->second.base_key;
+}
+
+std::optional<LockHash> HtlcKeyRing::lock_of(TxUnitId unit) const {
+  const auto it = unit_keys_.find(unit);
+  if (it == unit_keys_.end()) return std::nullopt;
+  return hash_preimage(it->second.key);
+}
+
+}  // namespace spider::core

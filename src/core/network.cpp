@@ -1,0 +1,115 @@
+#include "core/network.hpp"
+
+#include <stdexcept>
+
+namespace spider::core {
+
+ChannelNetwork::ChannelNetwork(const Graph& g, std::span<const Amount> capacity)
+    : graph_(&g) {
+  if (capacity.size() != g.edge_count()) {
+    throw std::invalid_argument("ChannelNetwork: capacity size != edge count");
+  }
+  channels_.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Amount half = capacity[e] / 2;
+    channels_.emplace_back(capacity[e] - half, half);
+  }
+}
+
+ChannelNetwork::ChannelNetwork(
+    const Graph& g, std::span<const std::pair<Amount, Amount>> deposits)
+    : graph_(&g) {
+  if (deposits.size() != g.edge_count()) {
+    throw std::invalid_argument("ChannelNetwork: deposits size != edge count");
+  }
+  channels_.reserve(g.edge_count());
+  for (const auto& [a, b] : deposits) channels_.emplace_back(a, b);
+}
+
+Amount ChannelNetwork::path_available(const Path& path) const {
+  Amount bottleneck = std::numeric_limits<Amount>::max();
+  for (const ArcId a : path.arcs) {
+    bottleneck = std::min(bottleneck, available(a));
+  }
+  return path.arcs.empty() ? 0 : bottleneck;
+}
+
+std::optional<RouteLock> ChannelNetwork::lock_route(const Path& path,
+                                                    Amount amount,
+                                                    LockHash lock) {
+  if (amount <= 0 || path.arcs.empty()) return std::nullopt;
+  const std::vector<Amount> amounts(path.arcs.size(), amount);
+  return lock_route_with_fees(path, amounts, lock);
+}
+
+std::optional<RouteLock> ChannelNetwork::lock_route_with_fees(
+    const Path& path, std::span<const Amount> amounts, LockHash lock) {
+  if (path.arcs.empty() || amounts.size() != path.arcs.size()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < amounts.size(); ++i) {
+    if (amounts[i] <= 0) return std::nullopt;
+    if (i + 1 < amounts.size() && amounts[i] < amounts[i + 1]) {
+      return std::nullopt;  // fees must decrease towards the destination
+    }
+  }
+  RouteLock rl;
+  rl.path = path;
+  rl.amount = amounts.back();  // value delivered to the destination
+  rl.lock = lock;
+  rl.htlcs.reserve(path.arcs.size());
+  for (std::size_t i = 0; i < path.arcs.size(); ++i) {
+    const ArcId a = path.arcs[i];
+    auto id = channels_[graph::edge_of(a)].offer_htlc(arc_side(a),
+                                                      amounts[i], lock);
+    if (!id) {
+      // Roll back the hops locked so far.
+      for (std::size_t j = 0; j < rl.htlcs.size(); ++j) {
+        channels_[graph::edge_of(path.arcs[j])].fail_htlc(rl.htlcs[j]);
+      }
+      return std::nullopt;
+    }
+    rl.htlcs.push_back(*id);
+  }
+  return rl;
+}
+
+bool ChannelNetwork::settle_route(const RouteLock& rl, Preimage key) {
+  if (!unlocks(key, rl.lock)) return false;
+  for (std::size_t i = 0; i < rl.path.arcs.size(); ++i) {
+    const bool ok =
+        channels_[graph::edge_of(rl.path.arcs[i])].settle_htlc(rl.htlcs[i],
+                                                               key);
+    if (!ok) {
+      throw std::logic_error(
+          "ChannelNetwork::settle_route: stale or double-settled route lock");
+    }
+  }
+  return true;
+}
+
+void ChannelNetwork::fail_route(const RouteLock& rl) {
+  for (std::size_t i = 0; i < rl.path.arcs.size(); ++i) {
+    const bool ok =
+        channels_[graph::edge_of(rl.path.arcs[i])].fail_htlc(rl.htlcs[i]);
+    if (!ok) {
+      throw std::logic_error(
+          "ChannelNetwork::fail_route: stale or double-failed route lock");
+    }
+  }
+}
+
+Amount ChannelNetwork::total_funds() const {
+  Amount total = 0;
+  for (const Channel& c : channels_) total += c.total();
+  return total;
+}
+
+bool ChannelNetwork::conserves_funds() const {
+  for (const Channel& c : channels_) {
+    if (!c.conserves_funds()) return false;
+  }
+  return true;
+}
+
+}  // namespace spider::core

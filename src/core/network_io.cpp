@@ -1,0 +1,89 @@
+#include "core/network_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spider::core {
+
+void write_channels_csv(std::ostream& os, const graph::Graph& g,
+                        const std::vector<std::pair<Amount, Amount>>& deps) {
+  if (deps.size() != g.edge_count()) {
+    throw std::invalid_argument("write_channels_csv: deposits size mismatch");
+  }
+  os << "u,v,balance_u_milli,balance_v_milli\n";
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    os << g.edge_u(e) << ',' << g.edge_v(e) << ',' << deps[e].first << ','
+       << deps[e].second << '\n';
+  }
+}
+
+NetworkSnapshot read_channels_csv(std::istream& is) {
+  struct Row {
+    graph::NodeId u, v;
+    Amount a, b;
+  };
+  std::vector<Row> rows;
+  graph::NodeId max_node = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line_no == 1 && line.rfind("u,v", 0) == 0) continue;
+    std::istringstream ss(line);
+    std::string f[4];
+    for (int i = 0; i < 4; ++i) {
+      if (!std::getline(ss, f[i], ',')) {
+        throw std::runtime_error("read_channels_csv: malformed line " +
+                                 std::to_string(line_no));
+      }
+    }
+    Row r;
+    try {
+      r.u = static_cast<graph::NodeId>(std::stoul(f[0]));
+      r.v = static_cast<graph::NodeId>(std::stoul(f[1]));
+      r.a = std::stoll(f[2]);
+      r.b = std::stoll(f[3]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_channels_csv: bad field on line " +
+                               std::to_string(line_no));
+    }
+    if (r.a < 0 || r.b < 0 || r.a + r.b == 0) {
+      throw std::runtime_error("read_channels_csv: invalid balances on line " +
+                               std::to_string(line_no));
+    }
+    rows.push_back(r);
+    max_node = std::max({max_node, r.u, r.v});
+  }
+  NetworkSnapshot snap;
+  snap.graph = graph::Graph(
+      rows.empty() ? 0 : static_cast<std::size_t>(max_node) + 1);
+  snap.deposits.reserve(rows.size());
+  for (const Row& r : rows) {
+    snap.graph.add_edge(r.u, r.v);
+    snap.deposits.emplace_back(r.a, r.b);
+  }
+  return snap;
+}
+
+void save_channels_csv(const std::string& path, const graph::Graph& g,
+                       const std::vector<std::pair<Amount, Amount>>& deps) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_channels_csv: cannot open " + path);
+  }
+  write_channels_csv(out, g, deps);
+}
+
+NetworkSnapshot load_channels_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_channels_csv: cannot open " + path);
+  }
+  return read_channels_csv(in);
+}
+
+}  // namespace spider::core

@@ -1,0 +1,39 @@
+#include "core/router.hpp"
+
+namespace spider::core {
+
+UnitQueue& Router::queue(ArcId a) {
+  auto it = queues_.find(a);
+  if (it == queues_.end()) {
+    it = queues_.emplace(a, UnitQueue(policy_)).first;
+  }
+  return it->second;
+}
+
+const UnitQueue* Router::find_queue(ArcId a) const {
+  const auto it = queues_.find(a);
+  return it == queues_.end() ? nullptr : &it->second;
+}
+
+std::size_t Router::queued_units() const {
+  std::size_t n = 0;
+  for (const auto& [arc, q] : queues_) n += q.size();
+  return n;
+}
+
+Amount Router::queued_amount() const {
+  Amount total = 0;
+  for (const auto& [arc, q] : queues_) total += q.total_amount();
+  return total;
+}
+
+std::vector<QueuedUnit> Router::drop_expired(TimePoint now) {
+  std::vector<QueuedUnit> expired;
+  for (auto& [arc, q] : queues_) {
+    auto dropped = q.drop_expired(now);
+    expired.insert(expired.end(), dropped.begin(), dropped.end());
+  }
+  return expired;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,46 @@
+#pragma once
+// Spider router (paper §4.2, Fig. 3): queues transaction units per
+// outgoing payment channel when funds are unavailable and services the
+// queues -- by the configured scheduling policy -- as funds return from
+// the other side. The forwarding *decisions* are source-routed (the unit
+// carries its path); the router contributes queueing, scheduling, and
+// per-channel accounting.
+
+#include <cstddef>
+#include <map>
+
+#include "core/scheduler.hpp"
+#include "core/types.hpp"
+
+namespace spider::core {
+
+class Router {
+ public:
+  Router(NodeId id, SchedulingPolicy policy) : id_(id), policy_(policy) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] SchedulingPolicy policy() const { return policy_; }
+
+  /// Queue of units waiting for funds on outgoing arc `a` (created on
+  /// first use). Only arcs whose tail is this router make sense here.
+  [[nodiscard]] UnitQueue& queue(ArcId a);
+
+  /// Read-only peek; nullptr if the arc has no queue yet.
+  [[nodiscard]] const UnitQueue* find_queue(ArcId a) const;
+
+  /// Units queued across all outgoing arcs.
+  [[nodiscard]] std::size_t queued_units() const;
+
+  /// Total value queued across all outgoing arcs.
+  [[nodiscard]] Amount queued_amount() const;
+
+  /// Drops expired units from every queue and returns them.
+  std::vector<QueuedUnit> drop_expired(TimePoint now);
+
+ private:
+  NodeId id_;
+  SchedulingPolicy policy_;
+  std::map<ArcId, UnitQueue> queues_;
+};
+
+}  // namespace spider::core

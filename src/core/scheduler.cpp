@@ -1,0 +1,101 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace spider::core {
+
+std::string to_string(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kLifo:
+      return "lifo";
+    case SchedulingPolicy::kSrpt:
+      return "srpt";
+    case SchedulingPolicy::kEdf:
+      return "edf";
+  }
+  return "unknown";
+}
+
+bool UnitQueue::Cmp::operator()(const QueuedUnit& a,
+                                const QueuedUnit& b) const {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      if (a.enqueued != b.enqueued) return a.enqueued < b.enqueued;
+      break;
+    case SchedulingPolicy::kLifo:
+      if (a.enqueued != b.enqueued) return a.enqueued > b.enqueued;
+      break;
+    case SchedulingPolicy::kSrpt:
+      if (a.remaining_payment != b.remaining_payment) {
+        return a.remaining_payment < b.remaining_payment;
+      }
+      break;
+    case SchedulingPolicy::kEdf:
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+      break;
+  }
+  return a.unit < b.unit;  // deterministic tie-break
+}
+
+UnitQueue::UnitQueue(SchedulingPolicy policy)
+    : policy_(policy), items_(Cmp{policy}) {}
+
+std::optional<QueuedUnit> UnitQueue::pop() {
+  if (items_.empty()) return std::nullopt;
+  QueuedUnit u = *items_.begin();
+  items_.erase(items_.begin());
+  return u;
+}
+
+const QueuedUnit* UnitQueue::peek() const {
+  return items_.empty() ? nullptr : &*items_.begin();
+}
+
+bool UnitQueue::erase(TxUnitId unit) {
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->unit == unit) {
+      items_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void UnitQueue::update_remaining(PaymentId payment, Amount remaining) {
+  std::vector<QueuedUnit> changed;
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (it->unit.payment == payment) {
+      changed.push_back(*it);
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (QueuedUnit& u : changed) {
+    u.remaining_payment = remaining;
+    items_.insert(u);
+  }
+}
+
+std::vector<QueuedUnit> UnitQueue::drop_expired(TimePoint now) {
+  std::vector<QueuedUnit> expired;
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (it->deadline < now) {
+      expired.push_back(*it);
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+Amount UnitQueue::total_amount() const {
+  Amount total = 0;
+  for (const QueuedUnit& u : items_) total += u.amount;
+  return total;
+}
+
+}  // namespace spider::core

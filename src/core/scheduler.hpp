@@ -1,0 +1,82 @@
+#pragma once
+// Transaction-unit scheduling (paper §4.2, §6.1).
+//
+// Spider routers queue transaction units when channel funds run dry and
+// service the queue as funds return; hosts schedule incomplete payments
+// from a global retry queue. Both use the same policy-parameterized
+// queue. The paper's evaluation schedules by *shortest remaining
+// processing time* (SRPT): smallest incomplete payment amount first [8].
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spider::core {
+
+enum class SchedulingPolicy : std::uint8_t {
+  kFifo,  // first in, first out (arrival order)
+  kLifo,  // last in, first out
+  kSrpt,  // shortest remaining payment amount first (paper default)
+  kEdf,   // earliest deadline first
+};
+
+[[nodiscard]] std::string to_string(SchedulingPolicy p);
+
+/// A schedulable work item: one transaction unit (router queues) or one
+/// incomplete payment (host retry queue; then `unit.seq` is unused).
+struct QueuedUnit {
+  TxUnitId unit;
+  Amount amount = 0;             // value carried by this item
+  Amount remaining_payment = 0;  // SRPT key: payment's incomplete amount
+  TimePoint enqueued = 0;
+  TimePoint deadline = kNever;
+};
+
+/// Priority queue over QueuedUnits with a runtime-selected policy.
+/// Deterministic: ties always break by (payment, seq).
+class UnitQueue {
+ public:
+  explicit UnitQueue(SchedulingPolicy policy);
+
+  void push(const QueuedUnit& u) { items_.insert(u); }
+
+  /// Removes and returns the highest-priority item (nullopt when empty).
+  std::optional<QueuedUnit> pop();
+
+  /// Highest-priority item without removing it.
+  [[nodiscard]] const QueuedUnit* peek() const;
+
+  /// Removes a specific unit (e.g. proactively cancelled in-flight units,
+  /// §4.1). Returns true if found.
+  bool erase(TxUnitId unit);
+
+  /// Updates the SRPT key of all items of `payment` (progress was made
+  /// elsewhere). No-op for other policies' ordering keys.
+  void update_remaining(PaymentId payment, Amount remaining);
+
+  /// Removes and returns every item whose deadline is < `now`.
+  std::vector<QueuedUnit> drop_expired(TimePoint now);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// Total value queued (sum of item amounts).
+  [[nodiscard]] Amount total_amount() const;
+
+  [[nodiscard]] SchedulingPolicy policy() const { return policy_; }
+
+ private:
+  struct Cmp {
+    SchedulingPolicy policy;
+    bool operator()(const QueuedUnit& a, const QueuedUnit& b) const;
+  };
+
+  SchedulingPolicy policy_;
+  std::multiset<QueuedUnit, Cmp> items_;
+};
+
+}  // namespace spider::core

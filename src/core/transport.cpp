@@ -1,0 +1,132 @@
+#include "core/transport.hpp"
+
+#include <stdexcept>
+
+namespace spider::core {
+
+std::vector<TxUnit> Transport::begin_payment(PaymentId id,
+                                             const PaymentRequest& req,
+                                             Amount mtu) {
+  if (req.src != node_) {
+    throw std::invalid_argument("Transport::begin_payment: wrong source");
+  }
+  if (mtu <= 0 || req.amount <= 0) {
+    throw std::invalid_argument("Transport::begin_payment: bad mtu/amount");
+  }
+  if (payments_.contains(id)) {
+    throw std::invalid_argument("Transport::begin_payment: duplicate id");
+  }
+  OutPayment op;
+  op.request = req;
+  const auto unit_count =
+      static_cast<std::uint32_t>((req.amount + mtu - 1) / mtu);
+  std::vector<LockHash> locks;
+  if (req.kind == PaymentKind::kAtomic) {
+    locks = keys_.create_atomic_locks(id, unit_count);
+  }
+  Amount left = req.amount;
+  for (std::uint32_t seq = 0; seq < unit_count; ++seq) {
+    TxUnit u;
+    u.id = TxUnitId{id, seq};
+    u.src = req.src;
+    u.dst = req.dst;
+    u.amount = std::min(mtu, left);
+    left -= u.amount;
+    u.deadline = req.deadline;
+    u.lock = req.kind == PaymentKind::kAtomic ? locks[seq]
+                                              : keys_.create_lock(u.id);
+    op.units.push_back(u);
+  }
+  op.confirmed.assign(unit_count, 0);
+  op.abandoned.assign(unit_count, 0);
+  std::vector<TxUnit> out = op.units;
+  payments_.emplace(id, std::move(op));
+  return out;
+}
+
+std::vector<KeyRelease> Transport::confirm_unit(TxUnitId unit, TimePoint now) {
+  auto it = payments_.find(unit.payment);
+  if (it == payments_.end()) {
+    throw std::invalid_argument("Transport::confirm_unit: unknown payment");
+  }
+  OutPayment& op = it->second;
+  if (unit.seq >= op.units.size()) {
+    throw std::invalid_argument("Transport::confirm_unit: bad seq");
+  }
+  if (op.confirmed[unit.seq] || op.abandoned[unit.seq]) return {};
+  // Late confirmations: withhold the key; the in-flight HTLC will be
+  // failed by its timeout instead of settled.
+  if (now > op.request.deadline) return {};
+  op.confirmed[unit.seq] = 1;
+  op.confirmed_amount += op.units[unit.seq].amount;
+  ++op.confirmed_count;
+
+  std::vector<KeyRelease> releases;
+  if (op.request.kind == PaymentKind::kNonAtomic) {
+    if (const auto key = keys_.release(unit)) {
+      releases.push_back({unit, *key});
+    }
+  } else if (op.confirmed_count == op.units.size() && !op.keys_released) {
+    // All shares arrived: the receiver can reconstruct the base key, so
+    // every unit's route settles now.
+    if (keys_.release_atomic(unit.payment, op.confirmed_count)) {
+      op.keys_released = true;
+      for (std::uint32_t seq = 0; seq < op.units.size(); ++seq) {
+        const TxUnitId uid{unit.payment, seq};
+        if (const auto key = keys_.release(uid)) {
+          releases.push_back({uid, *key});
+        }
+      }
+    }
+  }
+  return releases;
+}
+
+void Transport::abandon_unit(TxUnitId unit) {
+  auto it = payments_.find(unit.payment);
+  if (it == payments_.end()) return;
+  OutPayment& op = it->second;
+  if (unit.seq < op.units.size() && !op.confirmed[unit.seq]) {
+    op.abandoned[unit.seq] = 1;
+  }
+}
+
+const Transport::OutPayment& Transport::get(PaymentId id) const {
+  const auto it = payments_.find(id);
+  if (it == payments_.end()) {
+    throw std::invalid_argument("Transport: unknown payment id");
+  }
+  return it->second;
+}
+
+Amount Transport::delivered(PaymentId id) const {
+  const OutPayment& op = get(id);
+  if (op.request.kind == PaymentKind::kAtomic && !op.keys_released) {
+    return 0;  // nothing unlockable until every share confirmed
+  }
+  return op.confirmed_amount;
+}
+
+Amount Transport::remaining(PaymentId id) const {
+  const OutPayment& op = get(id);
+  return op.request.amount - op.confirmed_amount;
+}
+
+PaymentStatus Transport::status(PaymentId id, TimePoint now) const {
+  const OutPayment& op = get(id);
+  const bool complete = op.confirmed_amount == op.request.amount;
+  if (complete &&
+      (op.request.kind == PaymentKind::kNonAtomic || op.keys_released)) {
+    return PaymentStatus::kSucceeded;
+  }
+  if (now <= op.request.deadline) return PaymentStatus::kPending;
+  if (op.request.kind == PaymentKind::kAtomic) return PaymentStatus::kFailed;
+  return op.confirmed_amount > 0 ? PaymentStatus::kPartial
+                                 : PaymentStatus::kFailed;
+}
+
+const PaymentRequest& Transport::request(PaymentId id) const {
+  return get(id).request;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,90 @@
+#pragma once
+// Host transport layer (paper §4.1): message-oriented payment transport.
+//
+// Splits each payment into MTU-bounded transaction units, creates one
+// hash lock per unit (fresh key per unit for non-atomic payments; AMP
+// secret-shared keys for atomic payments), tracks receiver confirmations,
+// and decides when keys may be released:
+//  * non-atomic: key released per unit as soon as the receiver confirms
+//    it (before the deadline) -- the sender thus knows exactly how much
+//    of the payment the receiver can unlock, and withholds keys for late
+//    units;
+//  * atomic: all keys released together only when every unit confirmed.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/htlc.hpp"
+#include "core/types.hpp"
+
+namespace spider::core {
+
+/// One transaction unit as put on the wire.
+struct TxUnit {
+  TxUnitId id;
+  NodeId src = graph::kInvalidNode;
+  NodeId dst = graph::kInvalidNode;
+  Amount amount = 0;
+  TimePoint deadline = kNever;
+  LockHash lock = 0;
+};
+
+/// A released key the caller should use to settle a unit's route.
+struct KeyRelease {
+  TxUnitId unit;
+  Preimage key;
+};
+
+class Transport {
+ public:
+  Transport(NodeId node, std::uint64_t seed) : node_(node), keys_(seed) {}
+
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  /// Registers `req` (whose src must be this node) under `id` and splits
+  /// it into ceil(amount / mtu) units: full-MTU units plus a remainder.
+  /// Returns the units to transmit. mtu must be > 0.
+  std::vector<TxUnit> begin_payment(PaymentId id, const PaymentRequest& req,
+                                    Amount mtu);
+
+  /// Receiver confirmed `unit` at time `now`. Returns the keys the sender
+  /// releases as a consequence (see file comment). Confirmations after
+  /// the payment deadline release nothing (§4.1: the sender "can withhold
+  /// the key for in-flight transactions that arrive after the deadline").
+  std::vector<KeyRelease> confirm_unit(TxUnitId unit, TimePoint now);
+
+  /// A unit's route failed permanently (no funds / cancelled); the unit
+  /// will never be confirmed. Used for accounting.
+  void abandon_unit(TxUnitId unit);
+
+  /// Value of units confirmed (and, for atomic payments, unlockable).
+  [[nodiscard]] Amount delivered(PaymentId id) const;
+
+  /// Payment status at time `now` (deadline evaluated lazily).
+  [[nodiscard]] PaymentStatus status(PaymentId id, TimePoint now) const;
+
+  [[nodiscard]] const PaymentRequest& request(PaymentId id) const;
+
+  /// Remaining amount not yet confirmed (for SRPT scheduling).
+  [[nodiscard]] Amount remaining(PaymentId id) const;
+
+ private:
+  struct OutPayment {
+    PaymentRequest request;
+    std::vector<TxUnit> units;
+    std::vector<char> confirmed;   // per unit
+    std::vector<char> abandoned;   // per unit
+    Amount confirmed_amount = 0;
+    std::uint32_t confirmed_count = 0;
+    bool keys_released = false;    // atomic: base key released
+  };
+
+  const OutPayment& get(PaymentId id) const;
+
+  NodeId node_;
+  HtlcKeyRing keys_;
+  std::unordered_map<PaymentId, OutPayment> payments_;
+};
+
+}  // namespace spider::core

@@ -1,0 +1,48 @@
+#include "core/types.hpp"
+
+#include <cstdlib>
+
+namespace spider::core {
+
+std::string amount_to_string(Amount a) {
+  const bool neg = a < 0;
+  const Amount abs = neg ? -a : a;
+  const Amount whole = abs / kAmountScale;
+  const Amount frac = abs % kAmountScale;
+  std::string s = neg ? "-" : "";
+  s += std::to_string(whole);
+  if (frac != 0) {
+    std::string f = std::to_string(frac);
+    while (f.size() < 3) f.insert(f.begin(), '0');
+    while (!f.empty() && f.back() == '0') f.pop_back();
+    s += '.';
+    s += f;
+  }
+  return s;
+}
+
+std::string to_string(PaymentStatus s) {
+  switch (s) {
+    case PaymentStatus::kPending:
+      return "pending";
+    case PaymentStatus::kSucceeded:
+      return "succeeded";
+    case PaymentStatus::kPartial:
+      return "partial";
+    case PaymentStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::string to_string(PaymentKind k) {
+  switch (k) {
+    case PaymentKind::kAtomic:
+      return "atomic";
+    case PaymentKind::kNonAtomic:
+      return "non-atomic";
+  }
+  return "unknown";
+}
+
+}  // namespace spider::core

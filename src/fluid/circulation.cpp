@@ -1,0 +1,157 @@
+#include "fluid/circulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "lp/lp.hpp"
+
+namespace spider::fluid {
+
+namespace {
+
+constexpr double kEps = 1e-7;
+
+using EdgeMap = std::map<std::pair<NodeId, NodeId>, double>;
+
+EdgeMap to_edge_map(const PaymentGraph& h) {
+  EdgeMap m;
+  for (const Demand& d : h.demands()) m[{d.src, d.dst}] = d.rate;
+  return m;
+}
+
+/// DFS search for a directed cycle among positive-weight edges.
+/// Returns the cycle as a node sequence (first == last) or empty.
+std::vector<NodeId> find_cycle(const EdgeMap& edges, std::size_t n) {
+  // Build adjacency.
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const auto& [key, w] : edges) {
+    if (w > kEps) adj[key.first].push_back(key.second);
+  }
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> color(n, kWhite);
+  std::vector<NodeId> parent(n, graph::kInvalidNode);
+  // Iterative DFS to survive deep graphs.
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [u, idx] = stack.back();
+      if (idx < adj[u].size()) {
+        const NodeId v = adj[u][idx++];
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == kGray) {
+          // Cycle: v ... u -> v. Walk parents from u back to v.
+          std::vector<NodeId> cycle{v};
+          for (NodeId at = u; at != v; at = parent[at]) cycle.push_back(at);
+          cycle.push_back(v);
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+CirculationDecomposition decomposition_from_flow(const PaymentGraph& h,
+                                                 const EdgeMap& flow) {
+  CirculationDecomposition out(h.node_count());
+  for (const Demand& d : h.demands()) {
+    const auto it = flow.find({d.src, d.dst});
+    const double f =
+        it == flow.end() ? 0.0 : std::clamp(it->second, 0.0, d.rate);
+    if (f > kEps) out.circulation.set_demand(d.src, d.dst, f);
+    const double rem = d.rate - f;
+    if (rem > kEps) out.dag.set_demand(d.src, d.dst, rem);
+  }
+  out.circulation_value = out.circulation.total_demand();
+  out.dag_value = out.dag.total_demand();
+  return out;
+}
+
+}  // namespace
+
+bool is_acyclic(const PaymentGraph& h) {
+  const EdgeMap edges = to_edge_map(h);
+  return find_cycle(edges, h.node_count()).empty();
+}
+
+double max_circulation_value(const PaymentGraph& h) {
+  return max_circulation(h).circulation_value;
+}
+
+CirculationDecomposition max_circulation(const PaymentGraph& h) {
+  const std::vector<Demand> ds = h.demands();
+  if (ds.empty()) return CirculationDecomposition(h.node_count());
+
+  // LP: maximize sum f_k  s.t.  f_k <= d_k, flow conservation per node.
+  lp::Problem prob(ds.size());
+  for (std::size_t k = 0; k < ds.size(); ++k) {
+    prob.set_objective(k, 1.0);
+    prob.add_constraint({{k, 1.0}}, lp::Relation::kLessEq, ds[k].rate);
+  }
+  std::vector<std::vector<lp::Term>> node_terms(h.node_count());
+  for (std::size_t k = 0; k < ds.size(); ++k) {
+    node_terms[ds[k].src].push_back({k, 1.0});
+    node_terms[ds[k].dst].push_back({k, -1.0});
+  }
+  for (NodeId v = 0; v < h.node_count(); ++v) {
+    if (!node_terms[v].empty()) {
+      prob.add_constraint(node_terms[v], lp::Relation::kEq, 0.0);
+    }
+  }
+  const lp::Solution sol = lp::solve(prob);
+  if (!sol.optimal()) {
+    throw std::runtime_error("max_circulation: LP not optimal: " +
+                             lp::to_string(sol.status));
+  }
+  EdgeMap flow;
+  for (std::size_t k = 0; k < ds.size(); ++k) {
+    flow[{ds[k].src, ds[k].dst}] = sol.x[k];
+  }
+  CirculationDecomposition out = decomposition_from_flow(h, flow);
+  // At the exact optimum the remainder is acyclic (any residual cycle
+  // could be added to the circulation); peel numerical leftovers if any.
+  if (!is_acyclic(out.dag)) {
+    const CirculationDecomposition fix = peel_circulation(out.dag);
+    for (const Demand& d : fix.circulation.demands()) {
+      out.circulation.add_demand(d.src, d.dst, d.rate);
+    }
+    out.dag = fix.dag;
+    out.circulation_value = out.circulation.total_demand();
+    out.dag_value = out.dag.total_demand();
+  }
+  return out;
+}
+
+CirculationDecomposition peel_circulation(const PaymentGraph& h) {
+  EdgeMap residual = to_edge_map(h);
+  EdgeMap circ;
+  while (true) {
+    const std::vector<NodeId> cycle = find_cycle(residual, h.node_count());
+    if (cycle.empty()) break;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+      bottleneck = std::min(bottleneck, residual.at({cycle[i], cycle[i + 1]}));
+    }
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+      const auto key = std::make_pair(cycle[i], cycle[i + 1]);
+      circ[key] += bottleneck;
+      double& r = residual.at(key);
+      r -= bottleneck;
+      if (r <= kEps) residual.erase(key);
+    }
+  }
+  return decomposition_from_flow(h, circ);
+}
+
+}  // namespace spider::fluid

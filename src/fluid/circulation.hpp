@@ -1,0 +1,49 @@
+#pragma once
+// Circulation analysis of payment graphs (paper §5.2.2).
+//
+// The maximum circulation C* of payment graph H bounds the throughput of
+// any perfectly-balanced routing scheme (Proposition 1). We provide:
+//  * an exact maximum circulation via LP (flow conservation per node,
+//    0 <= f <= d, maximize total flow), and
+//  * a fast greedy cycle-peeling decomposition (the constructive procedure
+//    the paper sketches). Peeling yields *a* circulation; peeling order
+//    matters, so the greedy value is a lower bound on nu(C*) in general.
+
+#include <vector>
+
+#include "fluid/payment_graph.hpp"
+
+namespace spider::fluid {
+
+/// H split into a circulation component and an acyclic (DAG) remainder
+/// with H = circulation + dag edge-wise.
+struct CirculationDecomposition {
+  PaymentGraph circulation;
+  PaymentGraph dag;
+  double circulation_value = 0;  // nu(C)
+  double dag_value = 0;
+
+  CirculationDecomposition(std::size_t n) : circulation(n), dag(n) {}
+};
+
+/// Exact maximum circulation value nu(C*) via linear programming.
+/// The dense tableau needs O(demand_count^2) memory -- fine up to a few
+/// thousand demand pairs; summarize or use peel_circulation beyond that.
+[[nodiscard]] double max_circulation_value(const PaymentGraph& h);
+
+/// Exact maximum circulation decomposition via LP. The returned
+/// `circulation` satisfies flow conservation at every node and
+/// `circulation + dag == h`; `dag` is guaranteed acyclic.
+[[nodiscard]] CirculationDecomposition max_circulation(const PaymentGraph& h);
+
+/// Greedy cycle peeling: repeatedly find a directed cycle in the residual
+/// payment graph (DFS order) and peel its bottleneck weight into the
+/// circulation. Always terminates with an acyclic remainder; the result
+/// is a feasible circulation but not necessarily maximum.
+[[nodiscard]] CirculationDecomposition peel_circulation(const PaymentGraph& h);
+
+/// True if the positive-weight demand edges of `h` contain no directed
+/// cycle.
+[[nodiscard]] bool is_acyclic(const PaymentGraph& h);
+
+}  // namespace spider::fluid

@@ -1,0 +1,104 @@
+#include "fluid/payment_graph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace spider::fluid {
+
+void PaymentGraph::check(NodeId src, NodeId dst) const {
+  if (src >= node_count_ || dst >= node_count_) {
+    throw std::out_of_range("PaymentGraph: node out of range");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("PaymentGraph: self-demand " +
+                                std::to_string(src));
+  }
+}
+
+void PaymentGraph::add_demand(NodeId src, NodeId dst, double rate) {
+  check(src, dst);
+  if (!(rate > 0)) {
+    throw std::invalid_argument("PaymentGraph::add_demand: rate must be > 0");
+  }
+  entries_[{src, dst}] += rate;
+}
+
+void PaymentGraph::set_demand(NodeId src, NodeId dst, double rate) {
+  check(src, dst);
+  if (rate < 0 || !std::isfinite(rate)) {
+    throw std::invalid_argument("PaymentGraph::set_demand: bad rate");
+  }
+  if (rate == 0) {
+    entries_.erase({src, dst});
+  } else {
+    entries_[{src, dst}] = rate;
+  }
+}
+
+double PaymentGraph::demand(NodeId src, NodeId dst) const {
+  check(src, dst);
+  const auto it = entries_.find({src, dst});
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+std::vector<Demand> PaymentGraph::demands() const {
+  std::vector<Demand> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, rate] : entries_) {
+    out.push_back(Demand{key.first, key.second, rate});
+  }
+  return out;
+}
+
+double PaymentGraph::total_demand() const {
+  double total = 0;
+  for (const auto& [key, rate] : entries_) total += rate;
+  return total;
+}
+
+double PaymentGraph::node_imbalance(NodeId v) const {
+  if (v >= node_count_) {
+    throw std::out_of_range("PaymentGraph::node_imbalance: node out of range");
+  }
+  double out_rate = 0;
+  double in_rate = 0;
+  for (const auto& [key, rate] : entries_) {
+    if (key.first == v) out_rate += rate;
+    if (key.second == v) in_rate += rate;
+  }
+  return out_rate - in_rate;
+}
+
+bool PaymentGraph::is_circulation(double tol) const {
+  for (NodeId v = 0; v < node_count_; ++v) {
+    if (std::abs(node_imbalance(v)) > tol) return false;
+  }
+  return true;
+}
+
+PaymentGraph fig4_payment_graph() {
+  // Reconstructed from the paper's stated anchors (see DESIGN.md):
+  //  * d(1,2) = 1, d(1,5) = 1, d(2,4) = 2 stated in §5.1;
+  //  * node 4 routes rate 1 along 4->2->1 under shortest-path routing;
+  //  * optimal routing sends one unit of d(2,4) via 2->3->4, enabling
+  //    3->2 and 4->3 demands of one unit each;
+  //  * total demand 12, max circulation 8, shortest-path throughput 5.
+  // Node ids are 0-based: paper node k is node k-1 here.
+  PaymentGraph h(5);
+  h.set_demand(0, 1, 1);  // 1 -> 2
+  h.set_demand(1, 3, 2);  // 2 -> 4
+  h.set_demand(3, 0, 1);  // 4 -> 1
+  h.set_demand(3, 2, 1);  // 4 -> 3
+  h.set_demand(2, 1, 1);  // 3 -> 2
+  h.set_demand(2, 0, 1);  // 3 -> 1
+  h.set_demand(0, 2, 1);  // 1 -> 3
+  // DAG component: everything into node 5, which sends nothing back.
+  h.set_demand(0, 4, 1);  // 1 -> 5
+  h.set_demand(1, 4, 1);  // 2 -> 5
+  h.set_demand(3, 4, 1);  // 4 -> 5
+  h.set_demand(2, 4, 1);  // 3 -> 5
+  return h;
+}
+
+}  // namespace spider::fluid

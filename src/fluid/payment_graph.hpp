@@ -1,0 +1,74 @@
+#pragma once
+// Payment graph (paper §5.2.2): a weighted directed graph over the same
+// node set as the payment channel network, where edge (i, j) carries the
+// average rate d_ij at which i wants to pay j. It depends only on the
+// demand pattern, not on the channel topology, and its maximum circulation
+// bounds the throughput achievable with perfectly balanced routing
+// (Proposition 1).
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spider::fluid {
+
+using graph::NodeId;
+
+/// One directed demand entry: `src` wants to pay `dst` at `rate` (>0).
+struct Demand {
+  NodeId src;
+  NodeId dst;
+  double rate;
+
+  friend bool operator==(const Demand&, const Demand&) = default;
+};
+
+/// Sparse demand matrix / payment graph.
+class PaymentGraph {
+ public:
+  explicit PaymentGraph(std::size_t node_count) : node_count_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+
+  /// Adds `rate` to the (src, dst) demand. Negative or zero deltas and
+  /// self-demands are rejected.
+  void add_demand(NodeId src, NodeId dst, double rate);
+
+  /// Sets the (src, dst) demand, erasing it when `rate == 0`.
+  void set_demand(NodeId src, NodeId dst, double rate);
+
+  [[nodiscard]] double demand(NodeId src, NodeId dst) const;
+
+  /// All strictly positive demands, in (src, dst) lexicographic order.
+  [[nodiscard]] std::vector<Demand> demands() const;
+
+  [[nodiscard]] std::size_t demand_count() const noexcept {
+    return entries_.size();
+  }
+
+  /// Sum of all demand rates.
+  [[nodiscard]] double total_demand() const;
+
+  /// Net imbalance of node `v`: (rate paid out) - (rate received).
+  /// All-zero imbalances iff the payment graph is a circulation.
+  [[nodiscard]] double node_imbalance(NodeId v) const;
+
+  /// True if total in-rate equals total out-rate at every node (within
+  /// `tol`), i.e. the graph is its own maximum circulation.
+  [[nodiscard]] bool is_circulation(double tol = 1e-9) const;
+
+ private:
+  void check(NodeId src, NodeId dst) const;
+
+  std::size_t node_count_;
+  std::map<std::pair<NodeId, NodeId>, double> entries_;
+};
+
+/// The paper's Fig. 4a / Fig. 5 demand matrix on 0-based node ids.
+/// ν(C*) == 8 and total demand == 12 for this instance.
+[[nodiscard]] PaymentGraph fig4_payment_graph();
+
+}  // namespace spider::fluid

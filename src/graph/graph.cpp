@@ -1,0 +1,57 @@
+#include "graph/graph.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace spider::graph {
+
+bool Path::valid(const Graph& g) const {
+  if (source == kInvalidNode || source >= g.node_count()) return false;
+  NodeId at = source;
+  std::unordered_set<EdgeId> used;
+  used.reserve(arcs.size());
+  for (const ArcId a : arcs) {
+    if (a >= g.arc_count()) return false;
+    if (g.tail(a) != at) return false;
+    if (!used.insert(edge_of(a)).second) return false;  // repeated edge
+    at = g.head(a);
+  }
+  return true;
+}
+
+std::string to_string(const Path& path, const Graph& g) {
+  std::string out = std::to_string(path.source);
+  for (const ArcId a : path.arcs) {
+    out += " -> ";
+    out += std::to_string(g.head(a));
+  }
+  return out;
+}
+
+std::vector<NodeId> reachable_from(const Graph& g, NodeId start) {
+  std::vector<char> seen(g.node_count(), 0);
+  std::vector<NodeId> order;
+  std::deque<NodeId> frontier;
+  seen[start] = 1;
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    order.push_back(u);
+    for (const ArcId a : g.out_arcs(u)) {
+      const NodeId w = g.head(a);
+      if (!seen[w]) {
+        seen[w] = 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  return reachable_from(g, 0).size() == g.node_count();
+}
+
+}  // namespace spider::graph

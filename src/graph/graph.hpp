@@ -1,0 +1,189 @@
+#pragma once
+// Core graph substrate for the Spider payment-channel-network library.
+//
+// A payment channel network is an undirected multigraph whose edges
+// (channels) are used in both directions. We therefore store each
+// undirected edge as a pair of directed *arcs*: arc `2*e` points from
+// `u(e)` to `v(e)` and arc `2*e + 1` points the other way. This is the
+// classic arc-pair representation; `reverse(a) == a ^ 1` and
+// `edge_of(a) == a >> 1` are O(1).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spider::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using ArcId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+inline constexpr ArcId kInvalidArc = static_cast<ArcId>(-1);
+
+/// Returns the opposite direction of arc `a` (same undirected edge).
+[[nodiscard]] constexpr ArcId reverse(ArcId a) noexcept { return a ^ 1u; }
+
+/// Returns the undirected edge that arc `a` traverses.
+[[nodiscard]] constexpr EdgeId edge_of(ArcId a) noexcept { return a >> 1; }
+
+/// Returns the forward arc (direction u(e) -> v(e)) of edge `e`.
+[[nodiscard]] constexpr ArcId forward_arc(EdgeId e) noexcept { return e << 1; }
+
+/// Returns the backward arc (direction v(e) -> u(e)) of edge `e`.
+[[nodiscard]] constexpr ArcId backward_arc(EdgeId e) noexcept {
+  return (e << 1) | 1u;
+}
+
+/// Undirected multigraph with O(1) arc reversal, suitable both for the
+/// payment-channel data plane and for the fluid-model analysis.
+///
+/// Nodes and edges are dense integer ids assigned in insertion order;
+/// neither can be removed (payment channels close by having zero funds,
+/// not by leaving the topology mid-simulation).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `node_count` isolated nodes.
+  explicit Graph(std::size_t node_count)
+      : adjacency_(node_count), degree_(node_count, 0) {}
+
+  /// Adds an isolated node and returns its id.
+  NodeId add_node() {
+    adjacency_.emplace_back();
+    degree_.push_back(0);
+    return static_cast<NodeId>(adjacency_.size() - 1);
+  }
+
+  /// Adds an undirected edge (channel) between `u` and `v`.
+  /// Self-loops are rejected: a payment channel with oneself is meaningless.
+  /// Parallel edges are allowed (two nodes may maintain several channels,
+  /// e.g. to rebalance them one at a time, see paper §5.2.2).
+  EdgeId add_edge(NodeId u, NodeId v) {
+    check_node(u);
+    check_node(v);
+    if (u == v) throw std::invalid_argument("Graph: self-loop edge");
+    const auto e = static_cast<EdgeId>(edges_.size());
+    edges_.push_back({u, v});
+    adjacency_[u].push_back(forward_arc(e));
+    adjacency_[v].push_back(backward_arc(e));
+    ++degree_[u];
+    ++degree_[v];
+    return e;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  /// Number of directed arcs (always `2 * edge_count()`).
+  [[nodiscard]] std::size_t arc_count() const noexcept {
+    return edges_.size() * 2;
+  }
+
+  /// First endpoint of edge `e` (tail of its forward arc).
+  [[nodiscard]] NodeId edge_u(EdgeId e) const { return edges_.at(e).u; }
+  /// Second endpoint of edge `e` (head of its forward arc).
+  [[nodiscard]] NodeId edge_v(EdgeId e) const { return edges_.at(e).v; }
+
+  /// Node the arc points away from.
+  [[nodiscard]] NodeId tail(ArcId a) const {
+    const auto& ed = edges_.at(edge_of(a));
+    return (a & 1u) == 0 ? ed.u : ed.v;
+  }
+  /// Node the arc points towards.
+  [[nodiscard]] NodeId head(ArcId a) const {
+    const auto& ed = edges_.at(edge_of(a));
+    return (a & 1u) == 0 ? ed.v : ed.u;
+  }
+
+  /// Arcs leaving node `u` (one per incident edge).
+  [[nodiscard]] std::span<const ArcId> out_arcs(NodeId u) const {
+    check_node(u);
+    return adjacency_[u];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    check_node(u);
+    return degree_[u];
+  }
+
+  /// Returns any edge between `u` and `v`, or kInvalidEdge.
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const {
+    check_node(u);
+    check_node(v);
+    for (const ArcId a : adjacency_[u]) {
+      if (head(a) == v) return edge_of(a);
+    }
+    return kInvalidEdge;
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+ private:
+  struct EdgeRec {
+    NodeId u;
+    NodeId v;
+  };
+
+  void check_node(NodeId n) const {
+    if (n >= adjacency_.size()) {
+      throw std::out_of_range("Graph: node id " + std::to_string(n) +
+                              " out of range");
+    }
+  }
+
+  std::vector<std::vector<ArcId>> adjacency_;
+  std::vector<std::size_t> degree_;
+  std::vector<EdgeRec> edges_;
+};
+
+/// A simple path (trail) through the graph, stored as consecutive arcs.
+/// The empty path (zero arcs) represents "source == destination".
+struct Path {
+  NodeId source = kInvalidNode;
+  std::vector<ArcId> arcs;
+
+  [[nodiscard]] std::size_t length() const noexcept { return arcs.size(); }
+  [[nodiscard]] bool empty() const noexcept { return arcs.empty(); }
+
+  /// Destination node (source if the path is empty).
+  [[nodiscard]] NodeId destination(const Graph& g) const {
+    return arcs.empty() ? source : g.head(arcs.back());
+  }
+
+  /// Node sequence along the path, source first.
+  [[nodiscard]] std::vector<NodeId> nodes(const Graph& g) const {
+    std::vector<NodeId> ns;
+    ns.reserve(arcs.size() + 1);
+    ns.push_back(source);
+    for (const ArcId a : arcs) ns.push_back(g.head(a));
+    return ns;
+  }
+
+  /// True if consecutive arcs connect and no undirected edge repeats
+  /// (the paper restricts path sets to trails, §5.2.1).
+  [[nodiscard]] bool valid(const Graph& g) const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// Human-readable "0 -> 3 -> 7" rendering for logs and test failures.
+[[nodiscard]] std::string to_string(const Path& path, const Graph& g);
+
+/// True if an undirected path exists between every pair of nodes.
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Nodes reachable from `start` (including `start` itself).
+[[nodiscard]] std::vector<NodeId> reachable_from(const Graph& g, NodeId start);
+
+}  // namespace spider::graph

@@ -1,0 +1,142 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace spider::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+double residual(ArcId a, std::span<const double> capacity,
+                const std::vector<double>& flow) {
+  // Pushing on `a` first cancels opposing flow, then consumes capacity.
+  return capacity[a] - flow[a] + flow[reverse(a)];
+}
+
+void push(ArcId a, double delta, std::vector<double>& flow) {
+  const ArcId r = reverse(a);
+  const double cancel = std::min(delta, flow[r]);
+  flow[r] -= cancel;
+  flow[a] += delta - cancel;
+}
+
+// Extracts one s->t path of positive net flow; removes any flow cycle it
+// stumbles into along the way. Returns the (path, value) or nullopt-like
+// empty path when s has no outgoing flow.
+std::pair<Path, double> extract_path(const Graph& g, NodeId s, NodeId t,
+                                     std::vector<double>& flow) {
+  Path p;
+  p.source = s;
+  std::vector<ArcId> walk;
+  std::vector<NodeId> visited_at(g.node_count(), kInvalidNode);
+  visited_at[s] = 0;
+  NodeId at = s;
+  while (at != t) {
+    ArcId next = kInvalidArc;
+    for (const ArcId a : g.out_arcs(at)) {
+      if (flow[a] > kEps) {
+        next = a;
+        break;
+      }
+    }
+    if (next == kInvalidArc) return {Path{}, 0.0};  // dead end: no flow
+    if (visited_at[g.head(next)] != kInvalidNode) {
+      // Found a cycle: remove its flow and restart the walk cleanly.
+      const NodeId cyc_start = g.head(next);
+      std::size_t idx = visited_at[cyc_start];
+      double cyc_min = flow[next];
+      for (std::size_t i = idx; i < walk.size(); ++i) {
+        cyc_min = std::min(cyc_min, flow[walk[i]]);
+      }
+      flow[next] -= cyc_min;
+      for (std::size_t i = idx; i < walk.size(); ++i) flow[walk[i]] -= cyc_min;
+      // Rewind the walk to before the cycle.
+      for (std::size_t i = idx; i < walk.size(); ++i) {
+        visited_at[g.head(walk[i])] = kInvalidNode;
+      }
+      walk.resize(idx);
+      at = cyc_start == s && idx == 0 ? s : (idx == 0 ? s : g.head(walk.back()));
+      continue;
+    }
+    walk.push_back(next);
+    visited_at[g.head(next)] = static_cast<NodeId>(walk.size());
+    at = g.head(next);
+  }
+  double value = kInf;
+  for (const ArcId a : walk) value = std::min(value, flow[a]);
+  if (walk.empty() || value <= kEps) return {Path{}, 0.0};
+  for (const ArcId a : walk) flow[a] -= value;
+  p.arcs = std::move(walk);
+  return {std::move(p), value};
+}
+
+}  // namespace
+
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t,
+                       std::span<const double> capacity, double limit) {
+  if (capacity.size() != g.arc_count()) {
+    throw std::invalid_argument("max_flow: capacity size != arc count");
+  }
+  if (s >= g.node_count() || t >= g.node_count() || s == t) {
+    throw std::invalid_argument("max_flow: bad endpoints");
+  }
+  MaxFlowResult result;
+  result.flow.assign(g.arc_count(), 0.0);
+
+  std::vector<ArcId> parent(g.node_count());
+  while (limit <= 0 || result.value < limit - kEps) {
+    // BFS over the residual graph.
+    std::fill(parent.begin(), parent.end(), kInvalidArc);
+    std::deque<NodeId> frontier{s};
+    std::vector<char> seen(g.node_count(), 0);
+    seen[s] = 1;
+    bool reached = false;
+    while (!frontier.empty() && !reached) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const ArcId a : g.out_arcs(u)) {
+        const NodeId v = g.head(a);
+        if (seen[v] || residual(a, capacity, result.flow) <= kEps) continue;
+        seen[v] = 1;
+        parent[v] = a;
+        if (v == t) {
+          reached = true;
+          break;
+        }
+        frontier.push_back(v);
+      }
+    }
+    if (!reached) break;
+    // Bottleneck along the augmenting path.
+    double delta = kInf;
+    for (NodeId at = t; at != s; at = g.tail(parent[at])) {
+      delta = std::min(delta, residual(parent[at], capacity, result.flow));
+    }
+    if (limit > 0) delta = std::min(delta, limit - result.value);
+    for (NodeId at = t; at != s; at = g.tail(parent[at])) {
+      push(parent[at], delta, result.flow);
+    }
+    result.value += delta;
+  }
+
+  // Path decomposition from a scratch copy of the net flow.
+  std::vector<double> remaining = result.flow;
+  while (true) {
+    auto [p, v] = extract_path(g, s, t, remaining);
+    if (v <= kEps) break;
+    result.paths.emplace_back(std::move(p), v);
+  }
+  return result;
+}
+
+double max_flow_value(const Graph& g, NodeId s, NodeId t,
+                      std::span<const double> capacity) {
+  return max_flow(g, s, t, capacity).value;
+}
+
+}  // namespace spider::graph

@@ -1,0 +1,44 @@
+#pragma once
+// Max-flow (Edmonds-Karp / BFS Ford-Fulkerson) over the arc-pair graph.
+//
+// This powers the paper's "max-flow" routing baseline (§3, §6.1): for each
+// transaction, find source-destination flow of maximal value through the
+// current channel balances, succeed if it covers the transaction amount.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spider::graph {
+
+/// Result of a max-flow computation.
+struct MaxFlowResult {
+  /// Total value pushed from source to sink.
+  double value = 0;
+  /// Net flow on each arc (indexed by ArcId); flow(a) and flow(reverse(a))
+  /// are never both positive.
+  std::vector<double> flow;
+  /// A path decomposition of the flow: each entry is a (path, value) pair.
+  /// Sum of values equals `value`.
+  std::vector<std::pair<Path, double>> paths;
+};
+
+/// Computes a maximum s-t flow where each *directed arc* `a` has capacity
+/// `capacity[a] >= 0` (the two directions of a channel may differ — they
+/// are the two sides' current balances). Uses BFS augmenting paths
+/// (Edmonds-Karp), O(V * E^2) — matching the complexity the paper quotes
+/// for the baseline.
+///
+/// If `limit > 0`, stops once `value >= limit` (enough for a transaction
+/// of that size); the final augmenting path is trimmed so that
+/// `value <= limit` exactly.
+[[nodiscard]] MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t,
+                                     std::span<const double> capacity,
+                                     double limit = 0);
+
+/// Value of the maximum flow only (no decomposition).
+[[nodiscard]] double max_flow_value(const Graph& g, NodeId s, NodeId t,
+                                    std::span<const double> capacity);
+
+}  // namespace spider::graph

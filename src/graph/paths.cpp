@@ -1,0 +1,295 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace spider::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool edge_blocked(std::span<const char> blocked, EdgeId e) {
+  return !blocked.empty() && e < blocked.size() && blocked[e] != 0;
+}
+
+Path build_path_from_parents(const Graph& g, NodeId s, NodeId t,
+                             const std::vector<ArcId>& parent_arc) {
+  Path p;
+  p.source = s;
+  NodeId at = t;
+  while (at != s) {
+    const ArcId a = parent_arc[at];
+    p.arcs.push_back(a);
+    at = g.tail(a);
+  }
+  std::reverse(p.arcs.begin(), p.arcs.end());
+  return p;
+}
+
+}  // namespace
+
+std::optional<Path> bfs_shortest_path(const Graph& g, NodeId s, NodeId t,
+                                      std::span<const char> blocked_edges) {
+  if (s >= g.node_count() || t >= g.node_count()) return std::nullopt;
+  if (s == t) return Path{s, {}};
+  std::vector<ArcId> parent(g.node_count(), kInvalidArc);
+  std::vector<char> seen(g.node_count(), 0);
+  std::deque<NodeId> frontier{s};
+  seen[s] = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const ArcId a : g.out_arcs(u)) {
+      if (edge_blocked(blocked_edges, edge_of(a))) continue;
+      const NodeId w = g.head(a);
+      if (seen[w]) continue;
+      seen[w] = 1;
+      parent[w] = a;
+      if (w == t) return build_path_from_parents(g, s, t, parent);
+      frontier.push_back(w);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> dijkstra_shortest_path(const Graph& g, NodeId s, NodeId t,
+                                           const ArcWeightFn& weight,
+                                           std::span<const char> blocked_edges) {
+  if (s >= g.node_count() || t >= g.node_count()) return std::nullopt;
+  if (s == t) return Path{s, {}};
+  std::vector<double> dist(g.node_count(), kInf);
+  std::vector<ArcId> parent(g.node_count(), kInvalidArc);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[s] = 0;
+  pq.emplace(0.0, s);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == t) break;
+    for (const ArcId a : g.out_arcs(u)) {
+      if (edge_blocked(blocked_edges, edge_of(a))) continue;
+      const double w = weight(a);
+      if (w < 0) throw std::invalid_argument("dijkstra: negative arc weight");
+      const NodeId v = g.head(a);
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        parent[v] = a;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  if (dist[t] == kInf) return std::nullopt;
+  return build_path_from_parents(g, s, t, parent);
+}
+
+double path_weight(const Path& p, const ArcWeightFn& weight) {
+  double total = 0;
+  for (const ArcId a : p.arcs) total += weight(a);
+  return total;
+}
+
+std::vector<Path> yen_k_shortest_paths(const Graph& g, NodeId s, NodeId t,
+                                       std::size_t k,
+                                       const ArcWeightFn& weight) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  const ArcWeightFn w =
+      weight ? weight : ArcWeightFn([](ArcId) { return 1.0; });
+
+  auto first = dijkstra_shortest_path(g, s, t, w);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate set ordered by (weight, node-sequence) for determinism.
+  struct Candidate {
+    double cost;
+    Path path;
+  };
+  auto cand_less = [](const Candidate& a, const Candidate& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    if (a.path.arcs.size() != b.path.arcs.size())
+      return a.path.arcs.size() < b.path.arcs.size();
+    return a.path.arcs < b.path.arcs;
+  };
+  std::set<Candidate, decltype(cand_less)> candidates(cand_less);
+  std::set<std::vector<ArcId>> known;
+  known.insert(result[0].arcs);
+
+  std::vector<char> blocked(g.edge_count(), 0);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    const auto prev_nodes = prev.nodes(g);
+    // Spur from each node of the previous path.
+    for (std::size_t i = 0; i < prev.arcs.size(); ++i) {
+      const NodeId spur_node = prev_nodes[i];
+      // Root = prev[0..i).
+      Path root;
+      root.source = s;
+      root.arcs.assign(prev.arcs.begin(),
+                       prev.arcs.begin() + static_cast<std::ptrdiff_t>(i));
+      std::fill(blocked.begin(), blocked.end(), 0);
+      // Block the next edge of every known path sharing this root.
+      for (const Path& kp : result) {
+        if (kp.arcs.size() > i &&
+            std::equal(root.arcs.begin(), root.arcs.end(), kp.arcs.begin())) {
+          blocked[edge_of(kp.arcs[i])] = 1;
+        }
+      }
+      // Block edges of the root so spur paths stay loopless trails.
+      for (const ArcId a : root.arcs) blocked[edge_of(a)] = 1;
+      // Also exclude root nodes (other than spur_node) by blocking all
+      // their incident edges; keeps node-loopless property.
+      for (std::size_t j = 0; j < i; ++j) {
+        for (const ArcId a : g.out_arcs(prev_nodes[j])) {
+          blocked[edge_of(a)] = 1;
+        }
+      }
+      auto spur = dijkstra_shortest_path(g, spur_node, t, w, blocked);
+      if (!spur) continue;
+      Path total = root;
+      total.arcs.insert(total.arcs.end(), spur->arcs.begin(),
+                        spur->arcs.end());
+      if (known.contains(total.arcs)) continue;
+      const double cost = path_weight(total, w);
+      candidates.insert(Candidate{cost, std::move(total)});
+    }
+    if (candidates.empty()) break;
+    auto best = candidates.begin();
+    known.insert(best->path.arcs);
+    result.push_back(best->path);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+std::vector<Path> edge_disjoint_shortest_paths(const Graph& g, NodeId s,
+                                               NodeId t, std::size_t k) {
+  std::vector<Path> result;
+  std::vector<char> blocked(g.edge_count(), 0);
+  while (result.size() < k) {
+    auto p = bfs_shortest_path(g, s, t, blocked);
+    if (!p) break;
+    for (const ArcId a : p->arcs) blocked[edge_of(a)] = 1;
+    result.push_back(std::move(*p));
+  }
+  return result;
+}
+
+std::optional<Path> widest_path(const Graph& g, NodeId s, NodeId t,
+                                const ArcWeightFn& capacity,
+                                std::span<const char> blocked_edges) {
+  if (s >= g.node_count() || t >= g.node_count()) return std::nullopt;
+  if (s == t) return Path{s, {}};
+  // Dijkstra variant maximizing min-capacity; ties broken by hop count.
+  std::vector<double> width(g.node_count(), -1.0);
+  std::vector<std::size_t> hops(g.node_count(),
+                                std::numeric_limits<std::size_t>::max());
+  std::vector<ArcId> parent(g.node_count(), kInvalidArc);
+  struct Item {
+    double width;
+    std::size_t hops;
+    NodeId node;
+    bool operator<(const Item& o) const {
+      if (width != o.width) return width < o.width;  // max-heap on width
+      return hops > o.hops;                          // then min hops
+    }
+  };
+  std::priority_queue<Item> pq;
+  width[s] = kInf;
+  hops[s] = 0;
+  pq.push({kInf, 0, s});
+  while (!pq.empty()) {
+    const Item it = pq.top();
+    pq.pop();
+    if (it.width < width[it.node] ||
+        (it.width == width[it.node] && it.hops > hops[it.node])) {
+      continue;
+    }
+    for (const ArcId a : g.out_arcs(it.node)) {
+      if (edge_blocked(blocked_edges, edge_of(a))) continue;
+      const double cap = capacity(a);
+      if (cap <= 0) continue;
+      const NodeId v = g.head(a);
+      const double new_width = std::min(it.width, cap);
+      const std::size_t new_hops = it.hops + 1;
+      if (new_width > width[v] ||
+          (new_width == width[v] && new_hops < hops[v])) {
+        width[v] = new_width;
+        hops[v] = new_hops;
+        parent[v] = a;
+        pq.push({new_width, new_hops, v});
+      }
+    }
+  }
+  if (width[t] < 0) return std::nullopt;
+  return build_path_from_parents(g, s, t, parent);
+}
+
+std::vector<Path> edge_disjoint_widest_paths(const Graph& g, NodeId s,
+                                             NodeId t, std::size_t k,
+                                             const ArcWeightFn& capacity) {
+  std::vector<Path> result;
+  std::vector<char> blocked(g.edge_count(), 0);
+  while (result.size() < k) {
+    auto p = widest_path(g, s, t, capacity, blocked);
+    if (!p) break;
+    for (const ArcId a : p->arcs) blocked[edge_of(a)] = 1;
+    result.push_back(std::move(*p));
+  }
+  return result;
+}
+
+double path_bottleneck(const Path& p, const ArcWeightFn& capacity) {
+  double b = kInf;
+  for (const ArcId a : p.arcs) b = std::min(b, capacity(a));
+  return b;
+}
+
+std::vector<EdgeId> bfs_spanning_tree(const Graph& g, NodeId root) {
+  if (g.node_count() == 0) return {};
+  if (!is_connected(g)) {
+    throw std::invalid_argument("bfs_spanning_tree: graph is not connected");
+  }
+  std::vector<EdgeId> tree;
+  tree.reserve(g.node_count() - 1);
+  std::vector<char> seen(g.node_count(), 0);
+  std::deque<NodeId> frontier{root};
+  seen[root] = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const ArcId a : g.out_arcs(u)) {
+      const NodeId w = g.head(a);
+      if (seen[w]) continue;
+      seen[w] = 1;
+      tree.push_back(edge_of(a));
+      frontier.push_back(w);
+    }
+  }
+  return tree;
+}
+
+Path tree_path(const Graph& g, std::span<const EdgeId> tree_edges, NodeId s,
+               NodeId t) {
+  // BFS restricted to tree edges; the tree guarantees a unique path.
+  std::vector<char> allowed(g.edge_count(), 0);
+  for (const EdgeId e : tree_edges) allowed[e] = 1;
+  std::vector<char> blocked(g.edge_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) blocked[e] = !allowed[e];
+  auto p = bfs_shortest_path(g, s, t, blocked);
+  if (!p) {
+    throw std::invalid_argument("tree_path: nodes not connected by tree");
+  }
+  return *p;
+}
+
+}  // namespace spider::graph

@@ -1,0 +1,73 @@
+#pragma once
+// Path-finding algorithms used by Spider routing and the baselines:
+// BFS / Dijkstra single shortest path, Yen's k-shortest paths,
+// edge-disjoint shortest paths (the paper's default path set: "4 disjoint
+// shortest paths for every source-destination pair", §6.1), and
+// k widest (max-bottleneck) paths for waterfilling-style selection.
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spider::graph {
+
+/// Per-arc weight function; must be >= 0 for Dijkstra-family algorithms.
+using ArcWeightFn = std::function<double(ArcId)>;
+
+/// Shortest path by hop count; nullopt if `t` is unreachable from `s`.
+/// `blocked_edges[e] != 0` removes edge `e` (both directions).
+[[nodiscard]] std::optional<Path> bfs_shortest_path(
+    const Graph& g, NodeId s, NodeId t,
+    std::span<const char> blocked_edges = {});
+
+/// Shortest path under non-negative per-arc weights.
+[[nodiscard]] std::optional<Path> dijkstra_shortest_path(
+    const Graph& g, NodeId s, NodeId t, const ArcWeightFn& weight,
+    std::span<const char> blocked_edges = {});
+
+/// Total weight of a path under `weight`.
+[[nodiscard]] double path_weight(const Path& p, const ArcWeightFn& weight);
+
+/// Yen's algorithm: up to `k` loopless shortest paths in non-decreasing
+/// weight order. With `weight == nullptr`, hop count is used.
+[[nodiscard]] std::vector<Path> yen_k_shortest_paths(
+    const Graph& g, NodeId s, NodeId t, std::size_t k,
+    const ArcWeightFn& weight = nullptr);
+
+/// Up to `k` mutually edge-disjoint paths, chosen greedily shortest-first
+/// (each path's edges are removed before searching for the next). This is
+/// the path-set construction the paper's evaluation uses (§6.1).
+[[nodiscard]] std::vector<Path> edge_disjoint_shortest_paths(
+    const Graph& g, NodeId s, NodeId t, std::size_t k);
+
+/// Single widest (maximum-bottleneck) path under per-arc capacities,
+/// ties broken by fewer hops; nullopt if unreachable.
+[[nodiscard]] std::optional<Path> widest_path(
+    const Graph& g, NodeId s, NodeId t, const ArcWeightFn& capacity,
+    std::span<const char> blocked_edges = {});
+
+/// Up to `k` edge-disjoint widest paths (greedy widest-first removal).
+[[nodiscard]] std::vector<Path> edge_disjoint_widest_paths(
+    const Graph& g, NodeId s, NodeId t, std::size_t k,
+    const ArcWeightFn& capacity);
+
+/// Bottleneck (minimum per-arc value) along `p`; +inf for the empty path.
+[[nodiscard]] double path_bottleneck(const Path& p,
+                                     const ArcWeightFn& capacity);
+
+/// Edges of a BFS spanning tree rooted at `root`. Requires a connected
+/// graph (throws std::invalid_argument otherwise). Used by Proposition 1:
+/// routing a circulation along any spanning tree is perfectly balanced.
+[[nodiscard]] std::vector<EdgeId> bfs_spanning_tree(const Graph& g,
+                                                    NodeId root = 0);
+
+/// Unique path between `s` and `t` inside the spanning tree `tree_edges`.
+[[nodiscard]] Path tree_path(const Graph& g,
+                             std::span<const EdgeId> tree_edges, NodeId s,
+                             NodeId t);
+
+}  // namespace spider::graph

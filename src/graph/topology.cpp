@@ -1,0 +1,217 @@
+#include "graph/topology.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace spider::graph::topology {
+
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+Graph make_line(std::size_t n) {
+  require(n >= 1, "make_line: need n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+Graph make_ring(std::size_t n) {
+  require(n >= 3, "make_ring: need n >= 3");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  require(n >= 2, "make_star: need n >= 2");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(0, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  require(rows >= 1 && cols >= 1, "make_grid: need rows, cols >= 1");
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  require(n >= 1, "make_complete: need n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return g;
+}
+
+Graph make_fig4_example() {
+  Graph g(5);
+  g.add_edge(0, 1);  // paper nodes 1-2
+  g.add_edge(1, 2);  // 2-3
+  g.add_edge(2, 3);  // 3-4
+  g.add_edge(1, 3);  // 2-4
+  g.add_edge(2, 4);  // 3-5
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  require(n >= 2, "make_erdos_renyi: need n >= 2");
+  require(p > 0 && p <= 1, "make_erdos_renyi: need 0 < p <= 1");
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(p);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Graph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (coin(rng)) {
+          g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        }
+      }
+    }
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error(
+      "make_erdos_renyi: failed to sample a connected graph (p too small?)");
+}
+
+Graph make_scale_free(std::size_t n, std::size_t m, std::uint64_t seed) {
+  require(m >= 1, "make_scale_free: need m >= 1");
+  require(n > m, "make_scale_free: need n > m");
+  std::mt19937_64 rng(seed);
+  Graph g(n);
+  // Seed clique over the first m+1 nodes.
+  std::vector<NodeId> endpoint_pool;  // each node appears once per degree
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = i + 1; j <= m; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      endpoint_pool.push_back(static_cast<NodeId>(i));
+      endpoint_pool.push_back(static_cast<NodeId>(j));
+    }
+  }
+  for (std::size_t v = m + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      std::uniform_int_distribution<std::size_t> pick(
+          0, endpoint_pool.size() - 1);
+      const NodeId candidate = endpoint_pool[pick(rng)];
+      if (candidate == static_cast<NodeId>(v)) continue;
+      bool dup = false;
+      for (const NodeId t : targets) dup = dup || (t == candidate);
+      if (!dup) targets.push_back(candidate);
+    }
+    for (const NodeId t : targets) {
+      g.add_edge(static_cast<NodeId>(v), t);
+      endpoint_pool.push_back(static_cast<NodeId>(v));
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph make_small_world(std::size_t n, std::size_t k, double beta,
+                       std::uint64_t seed) {
+  require(n >= 4, "make_small_world: need n >= 4");
+  require(k >= 1 && 2 * k < n, "make_small_world: need 1 <= k < n/2");
+  require(beta >= 0 && beta <= 1, "make_small_world: need 0 <= beta <= 1");
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution rewire(beta);
+  std::uniform_int_distribution<std::size_t> any_node(0, n - 1);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t off = 1; off <= k; ++off) {
+      NodeId u = static_cast<NodeId>(i);
+      NodeId v = static_cast<NodeId>((i + off) % n);
+      if (rewire(rng)) {
+        // Rewire the far endpoint to a uniform random non-duplicate node.
+        for (int tries = 0; tries < 100; ++tries) {
+          const auto w = static_cast<NodeId>(any_node(rng));
+          if (w != u && !g.has_edge(u, w)) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (!g.has_edge(u, v) && u != v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_isp32() {
+  // 8 core + 24 edge routers; see header for the construction. The counts
+  // are exact: 28 core-mesh + 72 multi-home + 24 ring + 24 chord-3
+  // + 4 chord-6 = 152 edges over 32 nodes, matching §6.1.
+  constexpr std::size_t kCores = 8;
+  constexpr std::size_t kEdges = 24;
+  Graph g(kCores + kEdges);
+  for (std::size_t i = 0; i < kCores; ++i) {
+    for (std::size_t j = i + 1; j < kCores; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  auto edge_router = [](std::size_t j) {
+    return static_cast<NodeId>(kCores + j);
+  };
+  for (std::size_t j = 0; j < kEdges; ++j) {
+    for (const std::size_t off : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}}) {
+      g.add_edge(edge_router(j), static_cast<NodeId>((j + off) % kCores));
+    }
+  }
+  for (std::size_t j = 0; j < kEdges; ++j) {
+    g.add_edge(edge_router(j), edge_router((j + 1) % kEdges));  // ring
+  }
+  for (std::size_t j = 0; j < kEdges; ++j) {
+    g.add_edge(edge_router(j), edge_router((j + 3) % kEdges));  // chords
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    g.add_edge(edge_router(j), edge_router(j + 6));
+  }
+  return g;
+}
+
+Graph make_ripple_like(std::size_t n, std::uint64_t seed) {
+  require(n >= 5, "make_ripple_like: need n >= 5");
+  return make_scale_free(n, 3, seed);
+}
+
+Graph make_lightning_like(std::size_t n, std::uint64_t seed) {
+  require(n >= 8, "make_lightning_like: need n >= 8");
+  Graph g = make_scale_free(n, 2, seed);
+  // Strengthen the hub structure: every 16th node opens a channel to one
+  // of the five oldest (highest-degree) nodes, as merchants do towards
+  // well-connected Lightning hubs.
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::uniform_int_distribution<NodeId> hub(0, 4);
+  for (std::size_t v = 16; v < n; v += 16) {
+    const NodeId h = hub(rng);
+    if (!g.has_edge(static_cast<NodeId>(v), h)) {
+      g.add_edge(static_cast<NodeId>(v), h);
+    }
+  }
+  return g;
+}
+
+}  // namespace spider::graph::topology

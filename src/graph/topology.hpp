@@ -1,0 +1,67 @@
+#pragma once
+// Topology generators for the experiments.
+//
+// The paper evaluates on (a) an ISP topology from Topology Zoo with 32
+// nodes and 152 edges and (b) a pruned Ripple-network subgraph (scale-free,
+// heavy-tailed degrees). Neither dataset ships with this repository, so we
+// generate deterministic synthetic equivalents (see DESIGN.md §2) plus a
+// toolbox of standard graphs for tests and ablations.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace spider::graph::topology {
+
+/// Path graph: 0 - 1 - ... - (n-1).
+[[nodiscard]] Graph make_line(std::size_t n);
+
+/// Cycle graph on n >= 3 nodes.
+[[nodiscard]] Graph make_ring(std::size_t n);
+
+/// Star: node 0 is the hub connected to nodes 1..n-1.
+[[nodiscard]] Graph make_star(std::size_t n);
+
+/// rows x cols grid with 4-neighbour connectivity.
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// Complete graph on n nodes.
+[[nodiscard]] Graph make_complete(std::size_t n);
+
+/// The 5-node topology of the paper's motivating example (Fig. 4):
+/// edges (1,2), (2,3), (3,4), (2,4), (3,5) using 0-based ids
+/// (0,1), (1,2), (2,3), (1,3), (2,4).
+[[nodiscard]] Graph make_fig4_example();
+
+/// Erdos-Renyi G(n, p), retried until connected (throws after 1000 tries).
+[[nodiscard]] Graph make_erdos_renyi(std::size_t n, double p,
+                                     std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new node attaches `m`
+/// edges to existing nodes with probability proportional to degree.
+/// Produces the heavy-tailed degree distribution characteristic of the
+/// Ripple / Lightning graphs.
+[[nodiscard]] Graph make_scale_free(std::size_t n, std::size_t m,
+                                    std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice with `k` nearest neighbours
+/// per side, each edge rewired with probability `beta`.
+[[nodiscard]] Graph make_small_world(std::size_t n, std::size_t k,
+                                     double beta, std::uint64_t seed);
+
+/// Deterministic two-tier ISP-like topology with exactly 32 nodes and
+/// 152 edges, standing in for the Topology Zoo graph of §6.1:
+/// 8 densely-meshed core routers, 24 edge routers each multi-homed to
+/// 3 cores, plus deterministic edge-edge shortcuts to reach 152 edges.
+[[nodiscard]] Graph make_isp32();
+
+/// Ripple-like graph: scale-free core of `n` nodes with attachment
+/// parameter 2, mirroring the pruned Jan-2013 Ripple snapshot's shape
+/// (3774 nodes / 12512 edges => m ~= 3.3; we use m = 3).
+[[nodiscard]] Graph make_ripple_like(std::size_t n, std::uint64_t seed);
+
+/// Lightning-like graph: scale-free with a few very-high-degree hubs,
+/// modelling today's public Lightning Network snapshots.
+[[nodiscard]] Graph make_lightning_like(std::size_t n, std::uint64_t seed);
+
+}  // namespace spider::graph::topology

@@ -1,0 +1,104 @@
+#pragma once
+// A self-contained linear-programming solver.
+//
+// The fluid-model analyses (paper eqs. 1-5, 6-11, 12-18) and the
+// Spider (LP) routing scheme all reduce to moderate-size LPs over path
+// variables. We solve them exactly with a dense two-phase primal simplex:
+// Dantzig pricing with an automatic switch to Bland's rule to guarantee
+// termination, and a numerically-tolerant pivot selection.
+//
+// Problems are stated as:  maximize c'x  subject to  Ax (<=|=|>=) b, x >= 0.
+// Rows are entered sparsely; the tableau is dense internally.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spider::lp {
+
+enum class Relation { kLessEq, kEq, kGreaterEq };
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+[[nodiscard]] std::string to_string(SolveStatus s);
+
+/// Sparse term: coefficient on variable `var`.
+struct Term {
+  std::size_t var;
+  double coeff;
+};
+
+/// LP model builder. Variables are indexed 0..num_vars-1 and implicitly
+/// constrained to be non-negative.
+class Problem {
+ public:
+  explicit Problem(std::size_t num_vars) : objective_(num_vars, 0.0) {}
+
+  [[nodiscard]] std::size_t num_vars() const noexcept {
+    return objective_.size();
+  }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return rows_.size();
+  }
+
+  /// Sets the coefficient of `var` in the (maximized) objective.
+  void set_objective(std::size_t var, double coeff);
+
+  /// Adds the constraint  sum(terms) rel rhs.  Duplicate vars in `terms`
+  /// are summed. Returns the row index.
+  std::size_t add_constraint(std::vector<Term> terms, Relation rel,
+                             double rhs);
+
+  struct Row {
+    std::vector<Term> terms;
+    Relation rel;
+    double rhs;
+  };
+
+  [[nodiscard]] const std::vector<double>& objective() const noexcept {
+    return objective_;
+  }
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // primal values, size num_vars (when optimal)
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+struct SolveOptions {
+  std::size_t max_iterations = 0;  // 0 => 200 * (rows + cols)
+  double tolerance = 1e-9;
+  /// Anti-degeneracy right-hand-side perturbation. Network LPs with many
+  /// rhs-zero rows (e.g. flow-balance constraints) make the simplex stall
+  /// on degenerate pivots; a deterministic per-row perturbation of this
+  /// relative magnitude breaks the ties. The reported solution error is
+  /// bounded by rows * perturbation * max|rhs|. Set 0 to disable.
+  double perturbation = 1e-10;
+};
+
+/// Solves the LP; never throws on solver outcomes (status reports them),
+/// throws std::invalid_argument only on malformed input (var out of range).
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SolveOptions& options = {});
+
+/// Checks x against all constraints and bounds with tolerance `tol`.
+/// Useful for property tests and for validating solutions.
+[[nodiscard]] bool is_feasible(const Problem& problem,
+                               const std::vector<double>& x,
+                               double tol = 1e-6);
+
+/// Objective value of `x` under `problem`'s objective.
+[[nodiscard]] double objective_value(const Problem& problem,
+                                     const std::vector<double>& x);
+
+}  // namespace spider::lp

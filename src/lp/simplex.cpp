@@ -1,0 +1,342 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lp/lp.hpp"
+
+namespace spider::lp {
+
+std::string to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+void Problem::set_objective(std::size_t var, double coeff) {
+  if (var >= objective_.size()) {
+    throw std::invalid_argument("Problem::set_objective: var out of range");
+  }
+  objective_[var] = coeff;
+}
+
+std::size_t Problem::add_constraint(std::vector<Term> terms, Relation rel,
+                                    double rhs) {
+  for (const Term& t : terms) {
+    if (t.var >= objective_.size()) {
+      throw std::invalid_argument("Problem::add_constraint: var out of range");
+    }
+  }
+  rows_.push_back(Row{std::move(terms), rel, rhs});
+  return rows_.size() - 1;
+}
+
+namespace {
+
+constexpr std::size_t kNoCol = static_cast<std::size_t>(-1);
+
+/// Dense two-phase tableau simplex.
+class Tableau {
+ public:
+  Tableau(const Problem& p, const SolveOptions& opt)
+      : n_struct_(p.num_vars()), tol_(opt.tolerance) {
+    const auto& rows = p.rows();
+    const std::size_t m = rows.size();
+    // Count columns: structural + one slack/surplus per inequality +
+    // one artificial per >=/= row (and per <= row with negative rhs after
+    // normalization we handle by sign flip below).
+    std::size_t n_slack = 0;
+    std::size_t n_art = 0;
+    struct RowPlan {
+      double sign;       // +1 or -1 applied to the whole row
+      Relation rel;      // relation after sign normalization
+      std::size_t slack; // column or kNoCol
+      std::size_t art;   // column or kNoCol
+    };
+    std::vector<RowPlan> plan(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      double sign = rows[i].rhs < 0 ? -1.0 : 1.0;
+      Relation rel = rows[i].rel;
+      if (sign < 0) {
+        if (rel == Relation::kLessEq) rel = Relation::kGreaterEq;
+        else if (rel == Relation::kGreaterEq) rel = Relation::kLessEq;
+      }
+      plan[i].sign = sign;
+      plan[i].rel = rel;
+      plan[i].slack = rel == Relation::kEq ? kNoCol : n_slack++;
+      plan[i].art = rel == Relation::kLessEq ? kNoCol : n_art++;
+    }
+    slack_base_ = n_struct_;
+    art_base_ = n_struct_ + n_slack;
+    n_cols_ = art_base_ + n_art;
+
+    a_.assign(m, std::vector<double>(n_cols_, 0.0));
+    b_.assign(m, 0.0);
+    basis_.assign(m, kNoCol);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const Term& t : rows[i].terms) {
+        a_[i][t.var] += plan[i].sign * t.coeff;
+      }
+      b_[i] = plan[i].sign * rows[i].rhs;
+      if (plan[i].slack != kNoCol) {
+        const double s = plan[i].rel == Relation::kLessEq ? 1.0 : -1.0;
+        a_[i][slack_base_ + plan[i].slack] = s;
+        if (plan[i].rel == Relation::kLessEq) {
+          basis_[i] = slack_base_ + plan[i].slack;
+        }
+      }
+      if (plan[i].art != kNoCol) {
+        a_[i][art_base_ + plan[i].art] = 1.0;
+        basis_[i] = art_base_ + plan[i].art;
+      }
+    }
+    // Anti-degeneracy: relax every <= row by a deterministic, row-specific
+    // epsilon so no two basic variables hit zero simultaneously. Network
+    // LPs (flow-balance rows with rhs 0) stall badly without this. Only
+    // <= rows are touched -- relaxing them preserves feasibility; Eq/>=
+    // rows would be tightened, which could flip feasibility.
+    if (opt.perturbation > 0) {
+      double scale = 1.0;
+      for (const double b : b_) scale = std::max(scale, std::abs(b));
+      for (std::size_t i = 0; i < m; ++i) {
+        if (plan[i].rel != Relation::kLessEq) continue;
+        b_[i] += opt.perturbation * scale *
+                 static_cast<double>(1 + (i * 7919) % 97);
+      }
+    }
+    max_iter_ = opt.max_iterations != 0
+                    ? opt.max_iterations
+                    : 200 * (m + n_cols_) + 1000;
+  }
+
+  Solution run(const Problem& p) {
+    Solution sol;
+    // ---- Phase 1: maximize -(sum of artificials). ----
+    if (art_base_ < n_cols_) {
+      init_objective_phase1();
+      const SolveStatus st = iterate(/*allow_art=*/true);
+      if (st == SolveStatus::kIterLimit) {
+        sol.status = st;
+        return sol;
+      }
+      // Optimal phase-1 objective is -(sum artificials); feasible iff ~0.
+      if (obj_value_ < -1e-7) {
+        sol.status = SolveStatus::kInfeasible;
+        return sol;
+      }
+      purge_artificials();
+    }
+    // ---- Phase 2: real objective. ----
+    init_objective_phase2(p);
+    const SolveStatus st = iterate(/*allow_art=*/false);
+    sol.status = st;
+    if (st != SolveStatus::kOptimal) return sol;
+    sol.x.assign(n_struct_, 0.0);
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (basis_[i] < n_struct_) sol.x[basis_[i]] = b_[i];
+    }
+    sol.objective = obj_value_;
+    return sol;
+  }
+
+ private:
+  void init_objective_phase1() {
+    obj_.assign(n_cols_, 0.0);
+    obj_value_ = 0.0;
+    // cost of artificial j is -1 (maximize -sum a)  =>  z_j = -c_j = +1.
+    for (std::size_t j = art_base_; j < n_cols_; ++j) obj_[j] = 1.0;
+    // Zero out basic (artificial) columns: z -= row for each basic art.
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (basis_[i] >= art_base_) {
+        for (std::size_t j = 0; j < n_cols_; ++j) obj_[j] -= a_[i][j];
+        obj_value_ -= b_[i];
+      }
+    }
+  }
+
+  void init_objective_phase2(const Problem& p) {
+    obj_.assign(n_cols_, 0.0);
+    obj_value_ = 0.0;
+    const auto& c = p.objective();
+    for (std::size_t j = 0; j < n_struct_; ++j) obj_[j] = -c[j];
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      const std::size_t k = basis_[i];
+      const double ck = k < n_struct_ ? c[k] : 0.0;
+      if (ck != 0.0) {
+        for (std::size_t j = 0; j < n_cols_; ++j) obj_[j] += ck * a_[i][j];
+        obj_value_ += ck * b_[i];
+      }
+    }
+  }
+
+  /// After phase 1, pivot artificials out of the basis (or drop redundant
+  /// rows) so phase 2 cannot reintroduce infeasibility.
+  void purge_artificials() {
+    for (std::size_t i = 0; i < basis_.size();) {
+      if (basis_[i] < art_base_) {
+        ++i;
+        continue;
+      }
+      std::size_t enter = kNoCol;
+      for (std::size_t j = 0; j < art_base_; ++j) {
+        if (std::abs(a_[i][j]) > tol_) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == kNoCol) {
+        // Redundant row: remove it.
+        a_.erase(a_.begin() + static_cast<std::ptrdiff_t>(i));
+        b_.erase(b_.begin() + static_cast<std::ptrdiff_t>(i));
+        basis_.erase(basis_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      pivot(i, enter);
+      ++i;
+    }
+  }
+
+  SolveStatus iterate(bool allow_art) {
+    const std::size_t limit = allow_art ? n_cols_ : art_base_;
+    // Dantzig pricing by default; on a detected stall (no objective
+    // progress for `kStallWindow` pivots, i.e. a degenerate plateau),
+    // switch to Bland's rule until progress resumes -- Bland cannot
+    // cycle, Dantzig is much faster when moving.
+    constexpr std::size_t kStallWindow = 128;
+    double best_obj = obj_value_;
+    std::size_t stalled = 0;
+    bool bland = false;
+    for (std::size_t iter = 0; iter < max_iter_; ++iter) {
+      // Entering column: z_j < -tol.
+      std::size_t enter = kNoCol;
+      double best = -tol_;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (obj_[j] < best) {
+          enter = j;
+          if (bland) break;  // Bland: first improving index
+          best = obj_[j];
+        }
+      }
+      if (enter == kNoCol) return SolveStatus::kOptimal;
+      // Ratio test. Ties: prefer the largest pivot magnitude for
+      // stability; under Bland, the smallest basis index (anti-cycling).
+      std::size_t leave = kNoCol;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < basis_.size(); ++i) {
+        if (a_[i][enter] > tol_) {
+          const double ratio = b_[i] / a_[i][enter];
+          if (ratio < best_ratio - tol_) {
+            best_ratio = ratio;
+            leave = i;
+          } else if (ratio < best_ratio + tol_ && leave != kNoCol) {
+            const bool better =
+                bland ? basis_[i] < basis_[leave]
+                      : a_[i][enter] > a_[leave][enter];
+            if (better) {
+              best_ratio = std::min(best_ratio, ratio);
+              leave = i;
+            }
+          }
+        }
+      }
+      if (leave == kNoCol) return SolveStatus::kUnbounded;
+      pivot(leave, enter);
+      if (obj_value_ > best_obj + 1e-12) {
+        best_obj = obj_value_;
+        stalled = 0;
+        bland = false;
+      } else if (++stalled >= kStallWindow) {
+        bland = true;
+      }
+    }
+    return SolveStatus::kIterLimit;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double piv = a_[row][col];
+    const double inv = 1.0 / piv;
+    for (std::size_t j = 0; j < n_cols_; ++j) a_[row][j] *= inv;
+    a_[row][col] = 1.0;  // exact
+    b_[row] *= inv;
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (i == row) continue;
+      const double f = a_[i][col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n_cols_; ++j) a_[i][j] -= f * a_[row][j];
+      a_[i][col] = 0.0;
+      b_[i] -= f * b_[row];
+      if (b_[i] < 0 && b_[i] > -1e-11) b_[i] = 0;  // numerical clamp
+    }
+    const double f = obj_[col];
+    if (f != 0.0) {
+      for (std::size_t j = 0; j < n_cols_; ++j) obj_[j] -= f * a_[row][j];
+      obj_[col] = 0.0;
+      obj_value_ -= f * b_[row];
+    }
+    basis_[row] = col;
+  }
+
+  std::size_t n_struct_;
+  std::size_t slack_base_ = 0;
+  std::size_t art_base_ = 0;
+  std::size_t n_cols_ = 0;
+  double tol_;
+  std::size_t max_iter_ = 0;
+
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> obj_;
+  double obj_value_ = 0.0;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SolveOptions& options) {
+  Tableau t(problem, options);
+  Solution s = t.run(problem);
+  // Phase-2 tableau maximizes; obj_value_ tracked as c_B * b. The value
+  // stored during pivoting equals the current objective.
+  return s;
+}
+
+bool is_feasible(const Problem& problem, const std::vector<double>& x,
+                 double tol) {
+  if (x.size() != problem.num_vars()) return false;
+  for (const double v : x) {
+    if (v < -tol || !std::isfinite(v)) return false;
+  }
+  for (const auto& row : problem.rows()) {
+    double lhs = 0;
+    for (const Term& t : row.terms) lhs += t.coeff * x[t.var];
+    switch (row.rel) {
+      case Relation::kLessEq:
+        if (lhs > row.rhs + tol) return false;
+        break;
+      case Relation::kEq:
+        if (std::abs(lhs - row.rhs) > tol) return false;
+        break;
+      case Relation::kGreaterEq:
+        if (lhs < row.rhs - tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double objective_value(const Problem& problem, const std::vector<double>& x) {
+  double v = 0;
+  const auto& c = problem.objective();
+  for (std::size_t j = 0; j < x.size() && j < c.size(); ++j) v += c[j] * x[j];
+  return v;
+}
+
+}  // namespace spider::lp

@@ -1,0 +1,54 @@
+#include "routing/waterfilling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spider::routing {
+
+namespace {
+
+/// Finds the residual water level L >= 0 with sum(max(0, c_i - L)) ==
+/// min(amount, sum(c)).
+double find_level(std::span<const double> capacity, double amount) {
+  std::vector<double> c(capacity.begin(), capacity.end());
+  for (double& v : c) v = std::max(v, 0.0);
+  const double total = std::accumulate(c.begin(), c.end(), 0.0);
+  if (amount >= total) return 0.0;
+  std::sort(c.begin(), c.end(), std::greater<>());
+  // Lower the level from c[0]; between c[k] and c[k+1] the pour grows
+  // linearly with slope (k+1).
+  double poured = 0;
+  for (std::size_t k = 0; k < c.size(); ++k) {
+    const double next = k + 1 < c.size() ? c[k + 1] : 0.0;
+    const double span_pour =
+        (c[k] - next) * static_cast<double>(k + 1);
+    if (poured + span_pour >= amount) {
+      return c[k] - (amount - poured) / static_cast<double>(k + 1);
+    }
+    poured += span_pour;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<double> waterfill(std::span<const double> capacity,
+                              double amount) {
+  std::vector<double> alloc(capacity.size(), 0.0);
+  if (amount <= 0 || capacity.empty()) return alloc;
+  const double level = find_level(capacity, amount);
+  for (std::size_t i = 0; i < capacity.size(); ++i) {
+    alloc[i] = std::max(0.0, std::max(capacity[i], 0.0) - level);
+  }
+  return alloc;
+}
+
+double waterfill_level(std::span<const double> capacity, double amount) {
+  if (capacity.empty()) return 0.0;
+  if (amount <= 0) {
+    return *std::max_element(capacity.begin(), capacity.end());
+  }
+  return find_level(capacity, amount);
+}
+
+}  // namespace spider::routing

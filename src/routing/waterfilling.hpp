@@ -1,0 +1,32 @@
+#pragma once
+// Waterfilling allocation (paper §5.3.1): "a source ... first transmits on
+// the path with highest capacity until its capacity is the same as the
+// second-highest-capacity path; then it transmits on both of these paths
+// until they reach the capacity of the third highest-capacity path, and
+// so on." Sources thereby minimize imbalance by draining the most
+// available capacity first, like max-min-fair waterfilling.
+
+#include <span>
+#include <vector>
+
+namespace spider::routing {
+
+/// Splits `amount` across paths with available capacities `capacity`,
+/// waterfilling from the largest capacity down. The result `alloc`
+/// satisfies:
+///  * 0 <= alloc[i] <= capacity[i];
+///  * sum(alloc) == min(amount, sum(capacity));
+///  * residuals capacity[i] - alloc[i] are "levelled": every path with a
+///    positive allocation has residual equal to the common water level,
+///    and paths with no allocation have capacity below that level.
+/// Negative capacities are treated as zero.
+[[nodiscard]] std::vector<double> waterfill(std::span<const double> capacity,
+                                            double amount);
+
+/// The common residual level after waterfilling (for diagnostics/tests):
+/// max residual over paths that received a positive allocation, or the
+/// max capacity if nothing was allocated.
+[[nodiscard]] double waterfill_level(std::span<const double> capacity,
+                                     double amount);
+
+}  // namespace spider::routing

@@ -1,0 +1,33 @@
+#include "schemes/path_cache.hpp"
+
+#include <stdexcept>
+
+namespace spider::schemes {
+
+const std::vector<graph::Path>& PathCache::paths(graph::NodeId src,
+                                                 graph::NodeId dst) {
+  if (graph_ == nullptr) {
+    throw std::logic_error("PathCache: not bound to a graph");
+  }
+  const auto key = std::make_pair(src, dst);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  std::vector<graph::Path> result;
+  switch (mode_) {
+    case PathMode::kShortest: {
+      auto p = graph::bfs_shortest_path(*graph_, src, dst);
+      if (p) result.push_back(std::move(*p));
+      break;
+    }
+    case PathMode::kEdgeDisjoint:
+      result = graph::edge_disjoint_shortest_paths(*graph_, src, dst, k_);
+      break;
+    case PathMode::kKShortest:
+      result = graph::yen_k_shortest_paths(*graph_, src, dst, k_);
+      break;
+  }
+  return cache_.emplace(key, std::move(result)).first->second;
+}
+
+}  // namespace spider::schemes

@@ -1,0 +1,140 @@
+// SpeedyMurmurs-style embedding-based routing [25]: spanning trees give
+// every node prefix coordinates; a payment splits into one share per
+// tree, and each share is forwarded greedily across *any* channel to the
+// neighbour strictly closer to the destination in that tree's metric,
+// subject to channel balance. Atomic: all shares must route or nothing
+// is sent. (The original assigns coordinates with privacy-preserving
+// on-demand updates; the tree metric and greedy forwarding are the
+// routing substance and are reproduced here.)
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "schemes/schemes.hpp"
+
+namespace spider::schemes {
+
+void SpeedyMurmursScheme::prepare(const graph::Graph& g,
+                                  const std::vector<core::Amount>&,
+                                  const fluid::PaymentGraph&, double) {
+  graph_ = &g;
+  trees_.clear();
+  // Roots: the highest-degree nodes, shuffled deterministically so trees
+  // differ across seeds but not across runs.
+  std::vector<graph::NodeId> nodes(g.node_count());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::sort(nodes.begin(), nodes.end(),
+            [&g](graph::NodeId a, graph::NodeId b) {
+              if (g.degree(a) != g.degree(b)) {
+                return g.degree(a) > g.degree(b);
+              }
+              return a < b;
+            });
+  const std::size_t pool =
+      std::min<std::size_t>(g.node_count(), std::max(tree_count_ * 2,
+                                                     std::size_t{4}));
+  std::vector<graph::NodeId> roots(nodes.begin(),
+                                   nodes.begin() +
+                                       static_cast<std::ptrdiff_t>(pool));
+  std::mt19937_64 rng(seed_);
+  std::shuffle(roots.begin(), roots.end(), rng);
+  roots.resize(std::min(tree_count_, roots.size()));
+
+  for (const graph::NodeId root : roots) {
+    Tree t;
+    t.parent.assign(g.node_count(), graph::kInvalidNode);
+    t.depth.assign(g.node_count(), 0);
+    std::vector<char> seen(g.node_count(), 0);
+    std::vector<graph::NodeId> frontier{root};
+    seen[root] = 1;
+    while (!frontier.empty()) {
+      std::vector<graph::NodeId> next;
+      for (const graph::NodeId u : frontier) {
+        for (const graph::ArcId a : g.out_arcs(u)) {
+          const graph::NodeId w = g.head(a);
+          if (seen[w]) continue;
+          seen[w] = 1;
+          t.parent[w] = u;
+          t.depth[w] = t.depth[u] + 1;
+          next.push_back(w);
+        }
+      }
+      frontier = std::move(next);
+    }
+    trees_.push_back(std::move(t));
+  }
+}
+
+std::size_t SpeedyMurmursScheme::tree_distance(std::size_t t,
+                                               graph::NodeId u,
+                                               graph::NodeId v) const {
+  const Tree& tree = trees_.at(t);
+  std::size_t d = 0;
+  graph::NodeId a = u;
+  graph::NodeId b = v;
+  while (tree.depth[a] > tree.depth[b]) {
+    a = tree.parent[a];
+    ++d;
+  }
+  while (tree.depth[b] > tree.depth[a]) {
+    b = tree.parent[b];
+    ++d;
+  }
+  while (a != b) {
+    a = tree.parent[a];
+    b = tree.parent[b];
+    d += 2;
+  }
+  return d;
+}
+
+std::vector<RouteChoice> SpeedyMurmursScheme::route(
+    const core::PaymentRequest& req, core::Amount remaining,
+    const core::ChannelNetwork& net, core::TimePoint /*now*/) {
+  if (trees_.empty()) return {};
+  // Equal shares, the last share absorbing the remainder.
+  const auto tcount = static_cast<core::Amount>(trees_.size());
+  std::vector<core::Amount> shares(trees_.size(), remaining / tcount);
+  shares.back() += remaining % tcount;
+
+  std::vector<core::Amount> avail(graph_->arc_count());
+  for (graph::ArcId a = 0; a < graph_->arc_count(); ++a) {
+    avail[a] = net.available(a);
+  }
+
+  std::vector<RouteChoice> choices;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const core::Amount share = shares[t];
+    if (share <= 0) continue;
+    // Greedy embedded walk: strictly decreasing tree distance, enough
+    // balance on the hop.
+    graph::Path path{req.src, {}};
+    graph::NodeId at = req.src;
+    bool stuck = false;
+    while (at != req.dst) {
+      std::size_t best_dist = tree_distance(t, at, req.dst);
+      graph::ArcId best_arc = graph::kInvalidArc;
+      for (const graph::ArcId a : graph_->out_arcs(at)) {
+        if (avail[a] < share) continue;
+        const std::size_t d = tree_distance(t, graph_->head(a), req.dst);
+        if (d < best_dist) {
+          best_dist = d;
+          best_arc = a;
+        }
+      }
+      if (best_arc == graph::kInvalidArc) {
+        stuck = true;
+        break;
+      }
+      path.arcs.push_back(best_arc);
+      avail[best_arc] -= share;
+      at = graph_->head(best_arc);
+    }
+    if (stuck) return {};  // atomic: one stuck share sinks the payment
+    choices.push_back(RouteChoice{std::move(path), share});
+  }
+  return choices;
+}
+
+}  // namespace spider::schemes

@@ -1,0 +1,38 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace spider::sim {
+
+void EventQueue::schedule(TimePoint t, Handler fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; the handler must be moved out
+  // before pop. const_cast is confined to this one spot.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(TimePoint t_end) {
+  while (!events_.empty() && events_.top().time <= t_end) {
+    run_next();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace spider::sim

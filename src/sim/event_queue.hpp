@@ -1,0 +1,61 @@
+#pragma once
+// Minimal deterministic discrete-event engine. Events fire in (time,
+// insertion-order) order, so two runs with the same seed are bit-for-bit
+// identical.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spider::sim {
+
+using core::TimePoint;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void schedule(TimePoint t, Handler fn);
+
+  /// Schedules `fn` after a relative delay.
+  void schedule_in(TimePoint delay, Handler fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Pops and runs the earliest event, advancing the clock.
+  /// Returns false when no events remain.
+  bool run_next();
+
+  /// Runs events while their time is <= `t_end`, then advances the clock
+  /// to exactly `t_end`. Later events stay queued.
+  void run_until(TimePoint t_end);
+
+  /// Runs everything to quiescence.
+  void run_all();
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace spider::sim

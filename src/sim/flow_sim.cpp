@@ -1,0 +1,254 @@
+#include "sim/flow_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace spider::sim {
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "attempted=" << attempted << " succeeded=" << succeeded
+     << " partial=" << partial << " failed=" << failed
+     << " success_ratio=" << success_ratio()
+     << " success_volume=" << success_volume();
+  return os.str();
+}
+
+FlowSimulator::FlowSimulator(const graph::Graph& g,
+                             std::vector<core::Amount> edge_capacity,
+                             RoutingScheme& scheme, FlowSimConfig config)
+    : graph_(g),
+      capacity_(std::move(edge_capacity)),
+      net_(g, capacity_),
+      scheme_(scheme),
+      cfg_(config),
+      retry_queue_(config.retry_policy) {
+  if (cfg_.delta <= 0 || cfg_.poll_interval <= 0 || cfg_.end_time <= 0) {
+    throw std::invalid_argument("FlowSimulator: non-positive timing config");
+  }
+}
+
+void FlowSimulator::add_payment(const PaymentRequest& req) {
+  if (ran_) throw std::logic_error("FlowSimulator: add_payment after run");
+  if (req.src >= graph_.node_count() || req.dst >= graph_.node_count() ||
+      req.src == req.dst || req.amount <= 0) {
+    throw std::invalid_argument("FlowSimulator: malformed payment request");
+  }
+  payments_.push_back(PaymentState{req, 0, 0, false, false});
+}
+
+void FlowSimulator::record_series(core::Amount amount) {
+  if (!cfg_.collect_series) return;
+  const auto bucket =
+      static_cast<std::size_t>(events_.now() / cfg_.series_bucket);
+  if (metrics_.delivered_series.size() <= bucket) {
+    metrics_.delivered_series.resize(bucket + 1, 0.0);
+  }
+  metrics_.delivered_series[bucket] += core::to_units(amount);
+}
+
+void FlowSimulator::enqueue_retry(core::PaymentId pid) {
+  PaymentState& st = payments_[pid];
+  if (st.closed || st.enqueued) return;
+  core::QueuedUnit qu;
+  qu.unit = core::TxUnitId{pid, 0};
+  qu.amount = st.req.amount;
+  qu.remaining_payment = st.req.amount - st.delivered;
+  qu.enqueued = events_.now();
+  qu.deadline = st.req.deadline;
+  retry_queue_.push(qu);
+  st.enqueued = true;
+}
+
+void FlowSimulator::attempt(core::PaymentId pid) {
+  PaymentState& st = payments_[pid];
+  if (st.closed) return;
+  if (events_.now() > st.req.deadline) {
+    st.closed = true;
+    return;
+  }
+  const core::Amount remaining = st.req.amount - st.delivered - st.inflight;
+  if (remaining <= 0) return;
+  ++metrics_.total_attempt_rounds;
+  std::vector<RouteChoice> choices = scheme_.route(st.req, remaining, net_, events_.now());
+  if (scheme_.atomic()) {
+    attempt_atomic(st, pid, std::move(choices));
+  } else {
+    attempt_non_atomic(st, pid, std::move(choices));
+  }
+}
+
+void FlowSimulator::attempt_atomic(PaymentState& st, core::PaymentId pid,
+                                   std::vector<RouteChoice> choices) {
+  // All-or-nothing: lock every choice; any shortfall rolls everything
+  // back and the payment fails permanently.
+  st.closed = true;  // single attempt either way
+  core::Amount total = 0;
+  for (const RouteChoice& c : choices) total += c.amount;
+  const core::Amount needed = st.req.amount - st.delivered - st.inflight;
+  if (choices.empty() || total != needed) return;  // scheme gave up
+  const core::Preimage key = next_key_++;
+  const core::LockHash lockhash = core::hash_preimage(key);
+  std::vector<core::RouteLock> locks;
+  locks.reserve(choices.size());
+  for (const RouteChoice& c : choices) {
+    if (c.amount <= 0) continue;
+    auto rl = net_.lock_route(c.path, c.amount, lockhash);
+    if (!rl) {
+      for (const core::RouteLock& held : locks) net_.fail_route(held);
+      return;
+    }
+    locks.push_back(std::move(*rl));
+  }
+  // Success: all locked; schedule the in-flight completions.
+  for (core::RouteLock& rl : locks) {
+    send(pid, rl.amount, std::move(rl), key);
+  }
+}
+
+void FlowSimulator::attempt_non_atomic(PaymentState& st, core::PaymentId pid,
+                                       std::vector<RouteChoice> choices) {
+  const core::Preimage key = next_key_++;
+  const core::LockHash lockhash = core::hash_preimage(key);
+  const bool fee_free = cfg_.fee_policy.free();
+  for (const RouteChoice& c : choices) {
+    const core::Amount needed = st.req.amount - st.delivered - st.inflight;
+    if (needed <= 0) break;
+    core::Amount amt = std::min({c.amount, needed, net_.path_available(c.path)});
+    if (amt <= 0) continue;
+    if (fee_free) {
+      auto rl = net_.lock_route(c.path, amt, lockhash);
+      if (!rl) continue;  // raced with another lock; retry next poll
+      send(pid, amt, std::move(*rl), key);
+      continue;
+    }
+    // Fee-aware send: upstream hops carry amount + downstream fees, the
+    // sender skips paths that would blow the payment's fee budget.
+    const auto amounts =
+        core::hop_amounts(cfg_.fee_policy, amt, c.path.arcs.size());
+    const core::Amount fee = amounts.front() - amt;
+    if (st.fees_paid + fee > st.req.max_fee) continue;
+    auto rl = net_.lock_route_with_fees(c.path, amounts, lockhash);
+    if (!rl) continue;  // some hop can't also carry the fees; retry later
+    st.fees_paid += fee;
+    metrics_.fees_paid += fee;
+    send(pid, amt, std::move(*rl), key);
+  }
+  if (st.req.amount - st.delivered - st.inflight > 0) {
+    enqueue_retry(pid);
+  }
+}
+
+void FlowSimulator::send(core::PaymentId pid, core::Amount amt,
+                         core::RouteLock&& lock, core::Preimage key) {
+  PaymentState& st = payments_[pid];
+  st.inflight += amt;
+  ++metrics_.units_sent;
+  events_.schedule_in(cfg_.delta,
+                      [this, pid, rl = std::move(lock), key]() {
+                        complete(pid, rl, key);
+                      });
+}
+
+void FlowSimulator::complete(core::PaymentId pid, const core::RouteLock& rl,
+                             core::Preimage key) {
+  // The simulator is both every sender and every receiver, so it settles
+  // each route with the preimage it generated at lock time.
+  net_.settle_route(rl, key);
+  PaymentState& st = payments_[pid];
+  st.inflight -= rl.amount;
+  st.delivered += rl.amount;
+  metrics_.delivered_volume += rl.amount;
+  record_series(rl.amount);
+  if (st.delivered == st.req.amount) {
+    metrics_.sum_completion_latency += events_.now() - st.req.arrival;
+  }
+}
+
+void FlowSimulator::rebalance_sweep() {
+  // A router tops up its side of a channel on-chain when its spendable
+  // balance drops below `threshold * half_escrow`. The deposit restores
+  // the original 50/50 split but only becomes spendable after the
+  // blockchain confirmation delay.
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const core::Amount half = capacity_[e] / 2;
+    const core::Amount floor_amt = static_cast<core::Amount>(
+        static_cast<double>(half) * cfg_.rebalance_threshold);
+    for (const core::Side side : {core::Side::kA, core::Side::kB}) {
+      const core::Amount bal = net_.channel(e).balance(side);
+      if (bal >= floor_amt) continue;
+      const core::Amount top_up = half - bal;
+      if (top_up <= 0) continue;
+      ++metrics_.rebalance_events;
+      metrics_.rebalanced_volume += top_up;
+      events_.schedule_in(cfg_.rebalance_delay, [this, e, side, top_up]() {
+        net_.channel(e).deposit(side, top_up);
+      });
+    }
+  }
+  if (events_.now() + cfg_.rebalance_interval <= cfg_.end_time) {
+    events_.schedule_in(cfg_.rebalance_interval,
+                        [this]() { rebalance_sweep(); });
+  }
+}
+
+void FlowSimulator::poll() {
+  std::vector<core::QueuedUnit> batch;
+  const std::size_t budget =
+      cfg_.max_retries_per_poll == 0 ? retry_queue_.size()
+                                     : cfg_.max_retries_per_poll;
+  // Pop in policy order; re-add incomplete payments afterwards.
+  while (batch.size() < budget) {
+    auto qu = retry_queue_.pop();
+    if (!qu) break;
+    payments_[qu->unit.payment].enqueued = false;
+    batch.push_back(*qu);
+  }
+  for (const core::QueuedUnit& qu : batch) {
+    const core::PaymentId pid = qu.unit.payment;
+    attempt(pid);
+    PaymentState& st = payments_[pid];
+    if (!st.closed && st.req.amount - st.delivered > 0) {
+      enqueue_retry(pid);
+    }
+  }
+  if (events_.now() + cfg_.poll_interval <= cfg_.end_time) {
+    events_.schedule_in(cfg_.poll_interval, [this]() { poll(); });
+  }
+}
+
+Metrics FlowSimulator::run(const fluid::PaymentGraph& demand_estimate) {
+  if (ran_) throw std::logic_error("FlowSimulator: run called twice");
+  ran_ = true;
+  scheme_.prepare(graph_, capacity_, demand_estimate, cfg_.delta);
+  metrics_.series_bucket = cfg_.series_bucket;
+
+  for (core::PaymentId pid = 0; pid < payments_.size(); ++pid) {
+    const PaymentState& st = payments_[pid];
+    if (st.req.arrival > cfg_.end_time) continue;
+    ++metrics_.attempted;
+    metrics_.attempted_volume += st.req.amount;
+    events_.schedule(st.req.arrival, [this, pid]() { attempt(pid); });
+  }
+  events_.schedule(cfg_.poll_interval, [this]() { poll(); });
+  if (cfg_.enable_rebalancing) {
+    events_.schedule(cfg_.rebalance_interval, [this]() { rebalance_sweep(); });
+  }
+  events_.run_until(cfg_.end_time);
+
+  for (const PaymentState& st : payments_) {
+    if (st.req.arrival > cfg_.end_time) continue;
+    if (st.delivered == st.req.amount) {
+      ++metrics_.succeeded;
+      metrics_.completed_volume += st.req.amount;
+    } else if (st.delivered > 0) {
+      ++metrics_.partial;
+    } else {
+      ++metrics_.failed;
+    }
+  }
+  return metrics_;
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,126 @@
+#pragma once
+// Flow-level payment-channel-network simulator reproducing the paper's
+// evaluation semantics (§6.1):
+//  * arriving payments are routed by a pluggable scheme as long as funds
+//    are available on the chosen paths;
+//  * routed funds are held in flight for `delta` (0.5 s) and unavailable
+//    to every party along the path, then released at the far side;
+//  * non-atomic payments live in a global queue of incomplete payments
+//    that is periodically polled and scheduled (SRPT by default [8]);
+//  * atomic schemes get one all-or-nothing attempt per payment.
+//
+// In-network queues and end-host rate control (the architecture of §4)
+// are modelled by the separate packet-level simulator; the paper's own
+// evaluation explicitly defers them, and Fig. 6/7 use these flow
+// semantics.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/fees.hpp"
+#include "core/network.hpp"
+#include "core/scheduler.hpp"
+#include "core/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheme.hpp"
+
+namespace spider::sim {
+
+struct FlowSimConfig {
+  /// Simulation horizon; results are collected at this time (paper: 200 s
+  /// for the ISP topology, 85 s for Ripple).
+  TimePoint end_time = 200.0;
+  /// In-flight delay before routed funds become available (paper: 0.5 s).
+  TimePoint delta = 0.5;
+  /// Global incomplete-payment queue polling period.
+  TimePoint poll_interval = 0.2;
+  /// Scheduling policy for the retry queue (paper: SRPT).
+  core::SchedulingPolicy retry_policy = core::SchedulingPolicy::kSrpt;
+  /// Max payments re-attempted per poll (0 = unbounded). Bounds the cost
+  /// of very long queues; SRPT order decides who gets the budget.
+  std::size_t max_retries_per_poll = 0;
+  /// Collect a delivered-volume time series into the metrics.
+  bool collect_series = false;
+  double series_bucket = 5.0;
+
+  /// On-chain rebalancing (operationalizes §5.2.3): every
+  /// `rebalance_interval` seconds, any channel side whose spendable
+  /// balance fell below `rebalance_threshold` of its half of the escrow
+  /// deposits funds on-chain to restore the 50/50 split. Each deposit is
+  /// counted (with its confirmation delay modelled by becoming available
+  /// only `rebalance_delay` later) so throughput gains can be weighed
+  /// against on-chain cost, as the gamma objective (eq. 6) prescribes.
+  bool enable_rebalancing = false;
+  double rebalance_threshold = 0.2;
+  TimePoint rebalance_interval = 5.0;
+  TimePoint rebalance_delay = 1.0;
+
+  /// Routing fees charged by forwarding routers (zero by default, like
+  /// the paper's evaluation). When set, senders pay amount + fees, each
+  /// intermediate hop keeps its cut on settle, and paths whose cumulative
+  /// fees would exceed the payment's `max_fee` are not used.
+  core::FeePolicy fee_policy;
+};
+
+class FlowSimulator {
+ public:
+  /// The graph and scheme must outlive the simulator. Channel funds are
+  /// split equally per edge (paper §6.2).
+  FlowSimulator(const graph::Graph& g,
+                std::vector<core::Amount> edge_capacity,
+                RoutingScheme& scheme, FlowSimConfig config = {});
+
+  /// Registers a payment to arrive at `req.arrival` (< end_time to be
+  /// attempted). Call before run().
+  void add_payment(const PaymentRequest& req);
+
+  /// Runs to `end_time` and returns the metrics. `demand_estimate` is
+  /// forwarded to the scheme's prepare() (pass an empty PaymentGraph for
+  /// schemes that ignore it). Single-shot: construct a fresh simulator
+  /// per run.
+  Metrics run(const fluid::PaymentGraph& demand_estimate);
+
+  [[nodiscard]] const core::ChannelNetwork& network() const { return net_; }
+  [[nodiscard]] TimePoint now() const { return events_.now(); }
+
+ private:
+  struct PaymentState {
+    PaymentRequest req;
+    core::Amount delivered = 0;
+    core::Amount inflight = 0;
+    core::Amount fees_paid = 0;  // routing fees committed so far
+    bool closed = false;    // atomic attempt finished / deadline passed
+    bool enqueued = false;  // sitting in the retry queue
+  };
+
+  void attempt(core::PaymentId pid);
+  void attempt_atomic(PaymentState& st, core::PaymentId pid,
+                      std::vector<RouteChoice> choices);
+  void attempt_non_atomic(PaymentState& st, core::PaymentId pid,
+                          std::vector<RouteChoice> choices);
+  void send(core::PaymentId pid, core::Amount amt, core::RouteLock&& lock,
+            core::Preimage key);
+  void complete(core::PaymentId pid, const core::RouteLock& lock,
+                core::Preimage key);
+  void poll();
+  void rebalance_sweep();
+  void enqueue_retry(core::PaymentId pid);
+  void record_series(core::Amount amount);
+
+  const graph::Graph& graph_;
+  std::vector<core::Amount> capacity_;
+  core::ChannelNetwork net_;
+  RoutingScheme& scheme_;
+  FlowSimConfig cfg_;
+
+  EventQueue events_;
+  std::vector<PaymentState> payments_;
+  core::UnitQueue retry_queue_;
+  core::Preimage next_key_ = 1;
+  Metrics metrics_;
+  bool ran_ = false;
+};
+
+}  // namespace spider::sim

@@ -1,0 +1,73 @@
+#pragma once
+// Evaluation metrics (paper §6.1): success ratio ("how many payments
+// amongst those tried actually completed") and success volume ("the
+// volume of payments that went through as a fraction of the total volume
+// across all attempted payments"), plus diagnostics: completion latency,
+// retries, and per-channel imbalance.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace spider::sim {
+
+using core::Amount;
+using core::TimePoint;
+
+struct Metrics {
+  std::uint64_t attempted = 0;
+  std::uint64_t succeeded = 0;   // fully delivered by sim end
+  std::uint64_t partial = 0;     // some but not all delivered (non-atomic)
+  std::uint64_t failed = 0;      // nothing delivered
+
+  Amount attempted_volume = 0;
+  Amount delivered_volume = 0;   // includes partial deliveries
+  Amount completed_volume = 0;   // volume of fully-succeeded payments only
+
+  std::uint64_t total_attempt_rounds = 0;  // routing attempts incl. retries
+  std::uint64_t units_sent = 0;            // individual path sends
+  double sum_completion_latency = 0;       // over succeeded payments
+
+  /// On-chain rebalancing activity (zero unless enabled in the config):
+  /// every deposit is an expensive blockchain transaction (§5.2.3).
+  std::uint64_t rebalance_events = 0;
+  Amount rebalanced_volume = 0;
+
+  /// Total routing fees collected by forwarding routers (zero unless a
+  /// fee policy is configured).
+  Amount fees_paid = 0;
+
+  /// Fraction of attempted payments that fully completed.
+  [[nodiscard]] double success_ratio() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(succeeded) /
+                                static_cast<double>(attempted);
+  }
+
+  /// Fraction of attempted volume that was delivered.
+  [[nodiscard]] double success_volume() const {
+    return attempted_volume == 0
+               ? 0.0
+               : static_cast<double>(delivered_volume) /
+                     static_cast<double>(attempted_volume);
+  }
+
+  /// Mean arrival-to-completion latency of succeeded payments (seconds).
+  [[nodiscard]] double mean_completion_latency() const {
+    return succeeded == 0 ? 0.0
+                          : sum_completion_latency /
+                                static_cast<double>(succeeded);
+  }
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+
+  /// Delivered volume per time bucket (filled when series collection is
+  /// enabled in the simulator config).
+  std::vector<double> delivered_series;
+  double series_bucket = 1.0;
+};
+
+}  // namespace spider::sim

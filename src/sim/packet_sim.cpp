@@ -1,0 +1,318 @@
+#include "sim/packet_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::sim {
+
+PacketSimulator::PacketSimulator(const graph::Graph& g,
+                                 std::vector<core::Amount> edge_capacity,
+                                 PacketSimConfig config)
+    : graph_(g),
+      capacity_(std::move(edge_capacity)),
+      net_(g, capacity_),
+      cfg_(config) {
+  if (cfg_.mtu <= 0 || cfg_.hop_delay <= 0 || cfg_.end_time <= 0) {
+    throw std::invalid_argument("PacketSimulator: bad config");
+  }
+  transports_.reserve(g.node_count());
+  routers_.reserve(g.node_count());
+  for (core::NodeId v = 0; v < g.node_count(); ++v) {
+    transports_.push_back(
+        std::make_unique<core::Transport>(v, cfg_.seed ^ (v * 0x9e37ull)));
+    routers_.emplace_back(v, cfg_.router_policy);
+  }
+}
+
+core::PaymentId PacketSimulator::submit(const core::PaymentRequest& req) {
+  if (ran_) throw std::logic_error("PacketSimulator: submit after run");
+  if (req.src >= graph_.node_count() || req.dst >= graph_.node_count() ||
+      req.src == req.dst || req.amount <= 0) {
+    throw std::invalid_argument("PacketSimulator: malformed request");
+  }
+  requests_.push_back(req);
+  return requests_.size() - 1;
+}
+
+core::Amount PacketSimulator::queued_amount() const {
+  core::Amount total = 0;
+  for (const core::Router& r : routers_) total += r.queued_amount();
+  return total;
+}
+
+std::size_t PacketSimulator::queued_units() const {
+  std::size_t total = 0;
+  for (const core::Router& r : routers_) total += r.queued_units();
+  return total;
+}
+
+graph::Path PacketSimulator::select_path(const core::TxUnit& unit) {
+  const auto key = std::make_pair(unit.src, unit.dst);
+  auto it = path_cache_.find(key);
+  if (it == path_cache_.end()) {
+    it = path_cache_
+             .emplace(key, graph::edge_disjoint_shortest_paths(
+                               graph_, unit.src, unit.dst, cfg_.path_k))
+             .first;
+  }
+  const std::vector<graph::Path>& candidates = it->second;
+  if (candidates.empty()) return graph::Path{unit.src, {}};
+  if (cfg_.path_policy == UnitPathPolicy::kRoundRobin) {
+    const std::size_t i = rr_counter_[key]++ % candidates.size();
+    return candidates[i];
+  }
+  // kWidest: the paper's imbalance-aware intuition -- send where the most
+  // funds are available right now (waterfilling one unit at a time).
+  std::size_t best = 0;
+  core::Amount best_avail = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const core::Amount avail = net_.path_available(candidates[i]);
+    if (avail > best_avail) {
+      best_avail = avail;
+      best = i;
+    }
+  }
+  return candidates[best];
+}
+
+void PacketSimulator::arrive(core::PaymentId pid) {
+  const core::PaymentRequest& req = requests_[pid];
+  const std::vector<core::TxUnit> units =
+      transports_[req.src]->begin_payment(pid, req, cfg_.mtu);
+  for (const core::TxUnit& u : units) submit_unit(u);
+}
+
+void PacketSimulator::submit_unit(const core::TxUnit& unit) {
+  if (!cfg_.enable_congestion_control) {
+    launch_unit(unit);
+    return;
+  }
+  CcState fresh;
+  fresh.window = cfg_.cc_initial_window;
+  CcState& cc =
+      cc_.try_emplace({unit.src, unit.dst}, fresh).first->second;
+  if (static_cast<double>(cc.outstanding) < cc.window) {
+    ++cc.outstanding;
+    launch_unit(unit);
+  } else {
+    cc.backlog.push_back(unit);
+  }
+}
+
+void PacketSimulator::cc_unit_left(core::NodeId src, core::NodeId dst,
+                                   bool success) {
+  if (!cfg_.enable_congestion_control) return;
+  CcState& cc = cc_[{src, dst}];
+  if (cc.outstanding > 0) --cc.outstanding;
+  if (success) {
+    cc.window = std::min(cfg_.cc_max_window, cc.window + 1.0 / cc.window);
+  } else {
+    cc.window = std::max(1.0, cc.window / 2.0);
+  }
+  // A launched unit can fail synchronously (no route) and re-enter here;
+  // let the outermost frame own the backlog drain.
+  if (cc.draining) return;
+  cc.draining = true;
+  while (cc.next < cc.backlog.size() &&
+         static_cast<double>(cc.outstanding) < cc.window) {
+    const core::TxUnit u = cc.backlog[cc.next++];
+    // Skip units whose deadline already passed; the transport will mark
+    // the payment partial/failed at status time.
+    if (u.deadline < events_.now()) {
+      transports_[u.src]->abandon_unit(u.id);
+      continue;
+    }
+    ++cc.outstanding;
+    launch_unit(u);
+  }
+  cc.draining = false;
+  if (cc.next > 0 && cc.next == cc.backlog.size()) {
+    cc.backlog.clear();
+    cc.next = 0;
+  }
+}
+
+std::size_t PacketSimulator::backlog_units() const {
+  std::size_t total = 0;
+  for (const auto& [key, cc] : cc_) total += cc.backlog.size() - cc.next;
+  return total;
+}
+
+void PacketSimulator::launch_unit(const core::TxUnit& unit) {
+  UnitState st;
+  st.unit = unit;
+  st.path = select_path(unit);
+  if (st.path.arcs.empty()) {
+    transports_[unit.src]->abandon_unit(unit.id);
+    cc_unit_left(unit.src, unit.dst, /*success=*/false);
+    return;
+  }
+  units_[unit.id] = std::move(st);
+  ++metrics_.units_sent;
+  advance(unit.id);
+}
+
+void PacketSimulator::advance(core::TxUnitId uid) {
+  auto it = units_.find(uid);
+  if (it == units_.end() || it->second.done) return;
+  UnitState& st = it->second;
+  const graph::ArcId arc = st.path.arcs[st.hop];
+  auto htlc = net_.channel(graph::edge_of(arc))
+                  .offer_htlc(core::ChannelNetwork::arc_side(arc),
+                              st.unit.amount, st.unit.lock);
+  if (!htlc) {
+    // Dry channel: queue at this hop's router (paper Fig. 3).
+    core::QueuedUnit qu;
+    qu.unit = uid;
+    qu.amount = st.unit.amount;
+    qu.remaining_payment =
+        transports_[st.unit.src]->remaining(uid.payment);
+    qu.enqueued = events_.now();
+    qu.deadline = st.unit.deadline;
+    routers_[graph_.tail(arc)].queue(arc).push(qu);
+    return;
+  }
+  st.htlcs.push_back(*htlc);
+  events_.schedule_in(cfg_.hop_delay, [this, uid]() { reach_next_hop(uid); });
+}
+
+void PacketSimulator::reach_next_hop(core::TxUnitId uid) {
+  auto it = units_.find(uid);
+  if (it == units_.end() || it->second.done) return;
+  UnitState& st = it->second;
+  ++st.hop;
+  if (st.hop == st.path.arcs.size()) {
+    unit_reached_destination(uid);
+  } else {
+    advance(uid);
+  }
+}
+
+void PacketSimulator::unit_reached_destination(core::TxUnitId uid) {
+  auto it = units_.find(uid);
+  if (it == units_.end()) return;
+  const UnitState& st = it->second;
+  // Receiver confirms (payment id + sequence number, §4.1); the ack
+  // travels back to the sender in one aggregate delay.
+  const TimePoint ack_delay =
+      cfg_.hop_delay * static_cast<double>(st.path.arcs.size());
+  events_.schedule_in(ack_delay, [this, uid]() {
+    auto uit = units_.find(uid);
+    if (uit == units_.end() || uit->second.done) return;
+    const core::NodeId src = uit->second.unit.src;
+    // confirm_unit returns no keys for late confirmations (the sender
+    // withholds them; the unit's locks fail via the expiry sweep) and
+    // for atomic payments still missing shares.
+    const auto releases =
+        transports_[src]->confirm_unit(uid, events_.now());
+    for (const core::KeyRelease& kr : releases) {
+      settle_unit(kr.unit, kr.key);
+    }
+  });
+}
+
+void PacketSimulator::settle_unit(core::TxUnitId uid, core::Preimage key) {
+  auto it = units_.find(uid);
+  if (it == units_.end() || it->second.done) return;
+  UnitState& st = it->second;
+  st.done = true;
+  // Settle every hop; funds become usable at each receiving side, so
+  // service the queues that were waiting for them.
+  for (std::size_t i = 0; i < st.htlcs.size(); ++i) {
+    const graph::ArcId arc = st.path.arcs[i];
+    if (!net_.channel(graph::edge_of(arc)).settle_htlc(st.htlcs[i], key)) {
+      throw std::logic_error("packet_sim: settle failed (bad key?)");
+    }
+  }
+  metrics_.delivered_volume += st.unit.amount;
+  const core::NodeId src = st.unit.src;
+  const core::NodeId dst = st.unit.dst;
+  const core::PaymentId pid = uid.payment;
+  if (transports_[src]->remaining(pid) == 0) {
+    metrics_.sum_completion_latency +=
+        events_.now() - requests_[pid].arrival;
+  }
+  const graph::Path path = st.path;  // copy: service may mutate units_
+  units_.erase(it);
+  cc_unit_left(src, dst, /*success=*/true);
+  for (const graph::ArcId arc : path.arcs) {
+    service_arc(graph::reverse(arc));
+  }
+}
+
+void PacketSimulator::fail_unit(core::TxUnitId uid) {
+  auto it = units_.find(uid);
+  if (it == units_.end() || it->second.done) return;
+  UnitState& st = it->second;
+  st.done = true;
+  for (std::size_t i = 0; i < st.htlcs.size(); ++i) {
+    const graph::ArcId arc = st.path.arcs[i];
+    net_.channel(graph::edge_of(arc)).fail_htlc(st.htlcs[i]);
+  }
+  transports_[st.unit.src]->abandon_unit(uid);
+  const core::NodeId src = st.unit.src;
+  const core::NodeId dst = st.unit.dst;
+  const graph::Path path = st.path;
+  const std::size_t locked_hops = st.htlcs.size();
+  units_.erase(it);
+  cc_unit_left(src, dst, /*success=*/false);
+  // Funds return to the offering sides; their sending direction frees up.
+  for (std::size_t i = 0; i < locked_hops; ++i) {
+    service_arc(path.arcs[i]);
+  }
+}
+
+void PacketSimulator::service_arc(graph::ArcId a) {
+  core::Router& router = routers_[graph_.tail(a)];
+  core::UnitQueue& q = router.queue(a);
+  while (const core::QueuedUnit* top = q.peek()) {
+    const core::Amount avail = net_.available(a);
+    if (avail < top->amount) break;  // policy head blocked; wait for funds
+    const core::QueuedUnit qu = *q.pop();
+    advance(qu.unit);
+  }
+}
+
+void PacketSimulator::sweep_expired() {
+  for (core::Router& r : routers_) {
+    for (const core::QueuedUnit& qu : r.drop_expired(events_.now())) {
+      fail_unit(qu.unit);
+    }
+  }
+  if (events_.now() + cfg_.expiry_sweep_interval <= cfg_.end_time) {
+    events_.schedule_in(cfg_.expiry_sweep_interval,
+                        [this]() { sweep_expired(); });
+  }
+}
+
+Metrics PacketSimulator::run() {
+  if (ran_) throw std::logic_error("PacketSimulator: run called twice");
+  ran_ = true;
+  for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {
+    const core::PaymentRequest& req = requests_[pid];
+    if (req.arrival > cfg_.end_time) continue;
+    ++metrics_.attempted;
+    metrics_.attempted_volume += req.amount;
+    events_.schedule(req.arrival, [this, pid]() { arrive(pid); });
+  }
+  events_.schedule(cfg_.expiry_sweep_interval, [this]() { sweep_expired(); });
+  events_.run_until(cfg_.end_time);
+
+  for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {
+    const core::PaymentRequest& req = requests_[pid];
+    if (req.arrival > cfg_.end_time) continue;
+    const core::Amount delivered =
+        transports_[req.src]->delivered(pid);
+    if (delivered == req.amount) {
+      ++metrics_.succeeded;
+      metrics_.completed_volume += req.amount;
+    } else if (delivered > 0) {
+      ++metrics_.partial;
+    } else {
+      ++metrics_.failed;
+    }
+  }
+  return metrics_;
+}
+
+}  // namespace spider::sim

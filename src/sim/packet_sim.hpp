@@ -1,0 +1,138 @@
+#pragma once
+// Packet-level simulator of the Spider architecture (paper §4).
+//
+// Implements what the paper's own evaluation deferred to future work:
+// hosts split payments into MTU-bounded transaction units, each unit is
+// source-routed and locked hop-by-hop with per-hop propagation delay,
+// routers queue units that find a dry channel and service the queue (by
+// a configurable scheduling policy) as funds return, receivers confirm
+// units to the sender, and the sender's transport releases hash-lock
+// keys (per unit for non-atomic payments; all-at-once AMP style for
+// atomic payments), settling every hop.
+//
+// Used by the architecture examples, the packet-vs-flow ablation bench,
+// and the end-to-end tests of core/ (channel, transport, router, htlc).
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/router.hpp"
+#include "core/scheduler.hpp"
+#include "core/transport.hpp"
+#include "core/types.hpp"
+#include "graph/paths.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace spider::sim {
+
+enum class UnitPathPolicy : std::uint8_t {
+  kWidest,      // per unit, pick the candidate path with most available
+  kRoundRobin,  // cycle through the candidate paths
+};
+
+struct PacketSimConfig {
+  core::Amount mtu = core::from_units(10.0);
+  TimePoint hop_delay = 0.05;   // per-hop propagation/processing delay
+  TimePoint end_time = 100.0;
+  core::SchedulingPolicy router_policy = core::SchedulingPolicy::kSrpt;
+  std::size_t path_k = 4;       // edge-disjoint candidate paths per pair
+  UnitPathPolicy path_policy = UnitPathPolicy::kWidest;
+  /// Router queues drop expired units this often.
+  TimePoint expiry_sweep_interval = 0.5;
+  std::uint64_t seed = 1;
+
+  /// Host congestion control (§4.1, deferred by the paper's evaluation):
+  /// each (src, dst) pair keeps an AIMD window of outstanding transaction
+  /// units. Confirmations grow the window by 1/w; a failed or expired
+  /// unit halves it. Excess units wait in a host backlog instead of
+  /// flooding router queues.
+  bool enable_congestion_control = false;
+  double cc_initial_window = 4.0;
+  double cc_max_window = 64.0;
+};
+
+class PacketSimulator {
+ public:
+  PacketSimulator(const graph::Graph& g,
+                  std::vector<core::Amount> edge_capacity,
+                  PacketSimConfig config = {});
+
+  /// Registers a payment; it enters the network at `req.arrival`.
+  /// Returns the payment id. Call before run().
+  core::PaymentId submit(const core::PaymentRequest& req);
+
+  /// Runs to end_time and reports metrics.
+  Metrics run();
+
+  [[nodiscard]] const core::ChannelNetwork& network() const { return net_; }
+  [[nodiscard]] TimePoint now() const { return events_.now(); }
+
+  /// Total value sitting in router queues right now.
+  [[nodiscard]] core::Amount queued_amount() const;
+  /// Total units sitting in router queues right now.
+  [[nodiscard]] std::size_t queued_units() const;
+  /// Units waiting in host congestion-control backlogs right now.
+  [[nodiscard]] std::size_t backlog_units() const;
+
+ private:
+  struct UnitState {
+    core::TxUnit unit;
+    graph::Path path;
+    std::size_t hop = 0;                  // next arc index to traverse
+    std::vector<core::HtlcId> htlcs;      // one per completed offer
+    bool done = false;
+  };
+  struct UnitIdHash {
+    std::size_t operator()(const core::TxUnitId& u) const {
+      return std::hash<std::uint64_t>{}(u.payment * 0x100000001b3ull + u.seq);
+    }
+  };
+
+  struct CcState {
+    double window = 4.0;
+    std::size_t outstanding = 0;
+    std::vector<core::TxUnit> backlog;  // FIFO via index
+    std::size_t next = 0;
+    bool draining = false;
+  };
+
+  void arrive(core::PaymentId pid);
+  /// Admits a unit through congestion control (or directly when
+  /// disabled).
+  void submit_unit(const core::TxUnit& unit);
+  void launch_unit(const core::TxUnit& unit);
+  /// Called when a unit leaves the network (settled or failed); updates
+  /// the AIMD window and drains the backlog.
+  void cc_unit_left(core::NodeId src, core::NodeId dst, bool success);
+  graph::Path select_path(const core::TxUnit& unit);
+  /// Tries to lock the next hop; queues at the router on dry channels.
+  void advance(core::TxUnitId uid);
+  void reach_next_hop(core::TxUnitId uid);
+  void unit_reached_destination(core::TxUnitId uid);
+  void settle_unit(core::TxUnitId uid, core::Preimage key);
+  void fail_unit(core::TxUnitId uid);
+  void service_arc(graph::ArcId a);
+  void sweep_expired();
+
+  const graph::Graph& graph_;
+  std::vector<core::Amount> capacity_;
+  core::ChannelNetwork net_;
+  PacketSimConfig cfg_;
+
+  EventQueue events_;
+  std::vector<core::PaymentRequest> requests_;
+  std::vector<std::unique_ptr<core::Transport>> transports_;  // per node
+  std::vector<core::Router> routers_;                         // per node
+  std::unordered_map<core::TxUnitId, UnitState, UnitIdHash> units_;
+  std::map<std::pair<core::NodeId, core::NodeId>, std::vector<graph::Path>>
+      path_cache_;
+  std::map<std::pair<core::NodeId, core::NodeId>, std::size_t> rr_counter_;
+  std::map<std::pair<core::NodeId, core::NodeId>, CcState> cc_;
+  Metrics metrics_;
+  bool ran_ = false;
+};
+
+}  // namespace spider::sim

@@ -1,0 +1,125 @@
+#include "chain/blockchain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::chain {
+namespace {
+
+BlockchainConfig small_blocks(std::size_t capacity) {
+  BlockchainConfig cfg;
+  cfg.block_interval = 10.0;
+  cfg.block_capacity = capacity;
+  return cfg;
+}
+
+TEST(Blockchain, SubmitAndMine) {
+  Blockchain bc(small_blocks(10));
+  const TxId a = bc.submit(TxKind::kPayment, 100, 5, 1.0);
+  const TxId b = bc.submit(TxKind::kChannelOpen, 500, 7, 2.0);
+  ASSERT_NE(a, kInvalidTx);
+  ASSERT_NE(b, kInvalidTx);
+  EXPECT_EQ(bc.mempool_size(), 2u);
+  EXPECT_FALSE(bc.is_confirmed(a));
+
+  const Block& blk = bc.mine_block(10.0);
+  EXPECT_EQ(blk.height, 1u);
+  EXPECT_EQ(blk.txs.size(), 2u);
+  EXPECT_EQ(blk.total_fees, 12);
+  EXPECT_TRUE(bc.is_confirmed(a));
+  EXPECT_TRUE(bc.is_confirmed(b));
+  EXPECT_EQ(bc.confirmation_time(a), 10.0);
+  EXPECT_EQ(bc.mempool_size(), 0u);
+  EXPECT_EQ(bc.total_fees_collected(), 12);
+}
+
+TEST(Blockchain, FeeMarketOrdersByFee) {
+  Blockchain bc(small_blocks(2));
+  const TxId cheap = bc.submit(TxKind::kPayment, 1, 1, 0.0);
+  const TxId rich = bc.submit(TxKind::kPayment, 1, 10, 0.0);
+  const TxId mid = bc.submit(TxKind::kPayment, 1, 5, 0.0);
+  bc.mine_block(10.0);
+  EXPECT_TRUE(bc.is_confirmed(rich));
+  EXPECT_TRUE(bc.is_confirmed(mid));
+  EXPECT_FALSE(bc.is_confirmed(cheap));  // congested out
+  bc.mine_block(20.0);
+  EXPECT_TRUE(bc.is_confirmed(cheap));
+  EXPECT_EQ(bc.confirmation_time(cheap), 20.0);
+}
+
+TEST(Blockchain, EqualFeesConfirmInSubmissionOrder) {
+  Blockchain bc(small_blocks(1));
+  const TxId first = bc.submit(TxKind::kPayment, 1, 5, 0.0);
+  const TxId second = bc.submit(TxKind::kPayment, 1, 5, 0.0);
+  bc.mine_block(10.0);
+  EXPECT_TRUE(bc.is_confirmed(first));
+  EXPECT_FALSE(bc.is_confirmed(second));
+}
+
+TEST(Blockchain, RelayFloorRejects) {
+  BlockchainConfig cfg = small_blocks(10);
+  cfg.min_relay_fee = 10;
+  Blockchain bc(cfg);
+  EXPECT_EQ(bc.submit(TxKind::kPayment, 1, 5, 0.0), kInvalidTx);
+  EXPECT_NE(bc.submit(TxKind::kPayment, 1, 10, 0.0), kInvalidTx);
+}
+
+TEST(Blockchain, BumpFee) {
+  Blockchain bc(small_blocks(1));
+  const TxId stuck = bc.submit(TxKind::kPayment, 1, 1, 0.0);
+  const TxId rich = bc.submit(TxKind::kPayment, 1, 10, 0.0);
+  EXPECT_FALSE(bc.bump_fee(stuck, 1));   // not an increase
+  EXPECT_FALSE(bc.bump_fee(999, 50));    // unknown
+  EXPECT_TRUE(bc.bump_fee(stuck, 20));   // overtakes
+  bc.mine_block(10.0);
+  EXPECT_TRUE(bc.is_confirmed(stuck));
+  EXPECT_FALSE(bc.is_confirmed(rich));
+}
+
+TEST(Blockchain, FeeEstimation) {
+  Blockchain bc(small_blocks(2));
+  EXPECT_EQ(bc.estimate_fee(), 0);  // empty mempool: relay floor
+  (void)bc.submit(TxKind::kPayment, 1, 3, 0.0);
+  EXPECT_EQ(bc.estimate_fee(), 0);  // still room in the next block
+  (void)bc.submit(TxKind::kPayment, 1, 8, 0.0);
+  (void)bc.submit(TxKind::kPayment, 1, 5, 0.0);
+  // Next block takes fees {8, 5}; entry now requires > 5.
+  EXPECT_EQ(bc.estimate_fee(), 6);
+}
+
+TEST(Blockchain, BadInputs) {
+  EXPECT_THROW(Blockchain(BlockchainConfig{0.0, 10, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Blockchain(BlockchainConfig{10.0, 0, 0}),
+               std::invalid_argument);
+  Blockchain bc;
+  EXPECT_THROW((void)bc.submit(TxKind::kPayment, -1, 0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Blockchain, KindNames) {
+  EXPECT_EQ(to_string(TxKind::kChannelOpen), "channel-open");
+  EXPECT_EQ(to_string(TxKind::kPenalty), "penalty");
+  EXPECT_EQ(to_string(TxKind::kRebalanceDeposit), "rebalance-deposit");
+}
+
+TEST(Blockchain, SustainedCongestionGrowsMempool) {
+  // Arrival rate of 5 txs per block with capacity 2: backlog grows, and
+  // the estimated fee climbs as users outbid each other -- the paper's
+  // §1 motivation for going off-chain.
+  Blockchain bc(small_blocks(2));
+  Amount fee = 1;
+  Amount last_estimate = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      fee = std::max(fee, bc.estimate_fee());
+      (void)bc.submit(TxKind::kPayment, 100, fee, round * 10.0);
+    }
+    bc.mine_block((round + 1) * 10.0);
+    last_estimate = bc.estimate_fee();
+  }
+  EXPECT_GE(bc.mempool_size(), 20u);
+  EXPECT_GT(last_estimate, 1);
+}
+
+}  // namespace
+}  // namespace spider::chain

@@ -1,0 +1,128 @@
+#include "core/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::core {
+namespace {
+
+constexpr LockHash kLock = hash_preimage(42);
+
+TEST(Amounts, FixedPointConversions) {
+  EXPECT_EQ(from_units(1.0), 1000);
+  EXPECT_EQ(from_units(0.001), 1);
+  EXPECT_EQ(from_units(1.2345), 1235);  // rounds to nearest milli
+  EXPECT_DOUBLE_EQ(to_units(1500), 1.5);
+  EXPECT_EQ(amount_to_string(1500), "1.5");
+  EXPECT_EQ(amount_to_string(-2050), "-2.05");
+  EXPECT_EQ(amount_to_string(3000), "3");
+  EXPECT_EQ(amount_to_string(7), "0.007");
+}
+
+TEST(Channel, OpensWithDeposits) {
+  const Channel c(from_units(3), from_units(4));
+  EXPECT_EQ(c.balance(Side::kA), from_units(3));
+  EXPECT_EQ(c.balance(Side::kB), from_units(4));
+  EXPECT_EQ(c.total(), from_units(7));
+  EXPECT_TRUE(c.conserves_funds());
+  EXPECT_EQ(c.imbalance(), from_units(-1));
+}
+
+TEST(Channel, RejectsBadDeposits) {
+  EXPECT_THROW(Channel(-1, 5), std::invalid_argument);
+  EXPECT_THROW(Channel(0, 0), std::invalid_argument);
+}
+
+TEST(Channel, OfferMovesFundsToPending) {
+  Channel c(1000, 1000);
+  const auto id = c.offer_htlc(Side::kA, 400, kLock);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(c.balance(Side::kA), 600);
+  EXPECT_EQ(c.pending(Side::kA), 400);
+  EXPECT_EQ(c.balance(Side::kB), 1000);
+  EXPECT_EQ(c.inflight_count(), 1u);
+  EXPECT_TRUE(c.conserves_funds());
+}
+
+TEST(Channel, OfferFailsOnInsufficientBalance) {
+  Channel c(100, 100);
+  EXPECT_FALSE(c.offer_htlc(Side::kA, 101, kLock).has_value());
+  EXPECT_FALSE(c.offer_htlc(Side::kA, 0, kLock).has_value());
+  EXPECT_FALSE(c.offer_htlc(Side::kA, -5, kLock).has_value());
+  EXPECT_EQ(c.balance(Side::kA), 100);
+}
+
+TEST(Channel, SettleMovesFundsAcross) {
+  Channel c(1000, 1000);
+  const auto id = c.offer_htlc(Side::kA, 400, kLock);
+  ASSERT_TRUE(c.settle_htlc(*id, 42));
+  EXPECT_EQ(c.balance(Side::kA), 600);
+  EXPECT_EQ(c.balance(Side::kB), 1400);
+  EXPECT_EQ(c.pending(Side::kA), 0);
+  EXPECT_EQ(c.inflight_count(), 0u);
+  EXPECT_TRUE(c.conserves_funds());
+}
+
+TEST(Channel, SettleWithWrongKeyRejected) {
+  Channel c(1000, 1000);
+  const auto id = c.offer_htlc(Side::kA, 400, kLock);
+  EXPECT_FALSE(c.settle_htlc(*id, 43));
+  // Funds stay pending.
+  EXPECT_EQ(c.pending(Side::kA), 400);
+  EXPECT_TRUE(c.conserves_funds());
+}
+
+TEST(Channel, FailReturnsFunds) {
+  Channel c(1000, 1000);
+  const auto id = c.offer_htlc(Side::kB, 250, kLock);
+  ASSERT_TRUE(c.fail_htlc(*id));
+  EXPECT_EQ(c.balance(Side::kB), 1000);
+  EXPECT_EQ(c.pending(Side::kB), 0);
+  EXPECT_TRUE(c.conserves_funds());
+}
+
+TEST(Channel, DoubleSettleAndUnknownIdsRejected) {
+  Channel c(1000, 1000);
+  const auto id = c.offer_htlc(Side::kA, 100, kLock);
+  EXPECT_TRUE(c.settle_htlc(*id, 42));
+  EXPECT_FALSE(c.settle_htlc(*id, 42));
+  EXPECT_FALSE(c.fail_htlc(*id));
+  EXPECT_FALSE(c.fail_htlc(999));
+}
+
+TEST(Channel, ConcurrentHtlcsBothDirections) {
+  Channel c(500, 500);
+  const auto a1 = c.offer_htlc(Side::kA, 300, kLock);
+  const auto b1 = c.offer_htlc(Side::kB, 200, kLock);
+  ASSERT_TRUE(a1 && b1);
+  EXPECT_EQ(c.inflight_count(), 2u);
+  EXPECT_TRUE(c.conserves_funds());
+  EXPECT_TRUE(c.settle_htlc(*a1, 42));
+  EXPECT_TRUE(c.fail_htlc(*b1));
+  EXPECT_EQ(c.balance(Side::kA), 200);
+  EXPECT_EQ(c.balance(Side::kB), 800);
+  EXPECT_TRUE(c.conserves_funds());
+}
+
+TEST(Channel, DepositIncreasesEscrow) {
+  Channel c(100, 100);
+  c.deposit(Side::kA, 50);
+  EXPECT_EQ(c.balance(Side::kA), 150);
+  EXPECT_EQ(c.total(), 250);
+  EXPECT_TRUE(c.conserves_funds());
+  EXPECT_THROW(c.deposit(Side::kA, 0), std::invalid_argument);
+  EXPECT_THROW(c.deposit(Side::kA, -3), std::invalid_argument);
+}
+
+TEST(Channel, BalanceDrainsToZeroThenBlocks) {
+  // The unidirectional-depletion phenomenon the paper's routing fights.
+  Channel c(300, 0);
+  const auto id1 = c.offer_htlc(Side::kA, 300, kLock);
+  ASSERT_TRUE(id1);
+  EXPECT_TRUE(c.settle_htlc(*id1, 42));
+  // A is now empty; only B can send.
+  EXPECT_FALSE(c.offer_htlc(Side::kA, 1, kLock).has_value());
+  EXPECT_TRUE(c.offer_htlc(Side::kB, 300, kLock).has_value());
+}
+
+}  // namespace
+}  // namespace spider::core

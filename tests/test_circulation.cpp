@@ -1,0 +1,123 @@
+#include "fluid/circulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace spider::fluid {
+namespace {
+
+TEST(Circulation, EmptyGraph) {
+  PaymentGraph h(4);
+  EXPECT_NEAR(max_circulation_value(h), 0.0, 1e-6);
+  EXPECT_TRUE(is_acyclic(h));
+}
+
+TEST(Circulation, PureCycleIsItsOwnCirculation) {
+  PaymentGraph h(3);
+  h.set_demand(0, 1, 2.0);
+  h.set_demand(1, 2, 2.0);
+  h.set_demand(2, 0, 2.0);
+  const auto d = max_circulation(h);
+  EXPECT_NEAR(d.circulation_value, 6.0, 1e-5);
+  EXPECT_NEAR(d.dag_value, 0.0, 1e-5);
+  EXPECT_TRUE(d.circulation.is_circulation());
+}
+
+TEST(Circulation, PureDagHasNoCirculation) {
+  PaymentGraph h(4);
+  h.set_demand(0, 1, 1.0);
+  h.set_demand(0, 2, 2.0);
+  h.set_demand(1, 3, 1.0);
+  const auto d = max_circulation(h);
+  EXPECT_NEAR(d.circulation_value, 0.0, 1e-5);
+  EXPECT_NEAR(d.dag_value, 4.0, 1e-5);
+  EXPECT_TRUE(is_acyclic(h));
+}
+
+TEST(Circulation, TwoCycleBottleneck) {
+  PaymentGraph h(2);
+  h.set_demand(0, 1, 5.0);
+  h.set_demand(1, 0, 3.0);
+  const auto d = max_circulation(h);
+  EXPECT_NEAR(d.circulation_value, 6.0, 1e-5);  // 3 each way
+  EXPECT_NEAR(d.dag_value, 2.0, 1e-5);
+  EXPECT_TRUE(is_acyclic(d.dag));
+}
+
+TEST(Circulation, Fig4DecomposesInto8Plus4) {
+  const PaymentGraph h = fig4_payment_graph();
+  const auto d = max_circulation(h);
+  // Paper Fig. 5: circulation value 8, DAG value 4.
+  EXPECT_NEAR(d.circulation_value, 8.0, 1e-6);
+  EXPECT_NEAR(d.dag_value, 4.0, 1e-6);
+  EXPECT_TRUE(d.circulation.is_circulation(1e-6));
+  EXPECT_TRUE(is_acyclic(d.dag));
+}
+
+TEST(Circulation, GreedyPeelingIsOrderDependentLowerBound) {
+  // Triangle 0->1->2->0 of weight 1 plus a chord 1->0 of weight 1:
+  // the optimum peels the triangle (value 3) and leaves the chord;
+  // a greedy peel that grabs the 2-cycle 0->1->0 first only gets 2.
+  PaymentGraph h(3);
+  h.set_demand(0, 1, 1.0);
+  h.set_demand(1, 2, 1.0);
+  h.set_demand(2, 0, 1.0);
+  h.set_demand(1, 0, 1.0);
+  const auto exact = max_circulation(h);
+  EXPECT_NEAR(exact.circulation_value, 3.0, 1e-6);
+  const auto greedy = peel_circulation(h);
+  EXPECT_LE(greedy.circulation_value, exact.circulation_value + 1e-9);
+  EXPECT_TRUE(is_acyclic(greedy.dag));
+  EXPECT_TRUE(greedy.circulation.is_circulation(1e-9));
+}
+
+TEST(Circulation, DecompositionSumsBackToH) {
+  const PaymentGraph h = fig4_payment_graph();
+  const auto d = max_circulation(h);
+  for (const Demand& dm : h.demands()) {
+    const double sum =
+        d.circulation.demand(dm.src, dm.dst) + d.dag.demand(dm.src, dm.dst);
+    EXPECT_NEAR(sum, dm.rate, 1e-6);
+  }
+}
+
+// Property sweep over random payment graphs: the exact circulation is a
+// valid circulation, dominates greedy peeling, the DAG remainder is
+// acyclic, and circulation + dag == h.
+class CirculationPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CirculationPropertyTest, Invariants) {
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = 8;
+  std::uniform_real_distribution<double> rate(0.5, 4.0);
+  std::bernoulli_distribution has_edge(0.3);
+  PaymentGraph h(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i != j && has_edge(rng)) h.set_demand(i, j, rate(rng));
+    }
+  }
+  const auto exact = max_circulation(h);
+  const auto greedy = peel_circulation(h);
+  EXPECT_TRUE(exact.circulation.is_circulation(1e-6));
+  EXPECT_TRUE(greedy.circulation.is_circulation(1e-6));
+  EXPECT_TRUE(is_acyclic(exact.dag));
+  EXPECT_TRUE(is_acyclic(greedy.dag));
+  EXPECT_GE(exact.circulation_value, greedy.circulation_value - 1e-6);
+  EXPECT_LE(exact.circulation_value, h.total_demand() + 1e-6);
+  for (const Demand& dm : h.demands()) {
+    EXPECT_NEAR(exact.circulation.demand(dm.src, dm.dst) +
+                    exact.dag.demand(dm.src, dm.dst),
+                dm.rate, 1e-6);
+    EXPECT_LE(exact.circulation.demand(dm.src, dm.dst), dm.rate + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CirculationPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace spider::fluid

@@ -1,0 +1,73 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&]() { order.push_back(3); });
+  q.schedule(1.0, [&]() { order.push_back(1); });
+  q.schedule(2.0, [&]() { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i]() { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&]() { ++fired; });
+  q.schedule(2.0, [&]() { ++fired; });
+  q.schedule(5.0, [&]() { ++fired; });
+  q.run_until(2.0);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.run_until(7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    ++count;
+    if (count < 4) q.schedule_in(1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  q.run_all();
+  EXPECT_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule(2.0, []() {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(1.0, []() {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+}
+
+}  // namespace
+}  // namespace spider::sim

@@ -1,0 +1,155 @@
+#include "core/fees.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+#include "schemes/schemes.hpp"
+#include "sim/flow_sim.hpp"
+
+namespace spider {
+namespace {
+
+using core::Amount;
+using core::FeePolicy;
+using core::from_units;
+
+TEST(Fees, FlatAndProportionalSchedule) {
+  FeePolicy p;
+  p.base = 10;                 // 0.01 units per hop
+  p.proportional_ppm = 1000;   // 0.1%
+  EXPECT_EQ(p.fee_for(from_units(100)), 10 + 100);  // 10 + 0.1% of 100k
+  EXPECT_FALSE(p.free());
+  EXPECT_TRUE(FeePolicy{}.free());
+}
+
+TEST(Fees, HopAmountsGrowTowardsSender) {
+  FeePolicy p;
+  p.base = 5;
+  const auto amounts = core::hop_amounts(p, 1000, 3);
+  ASSERT_EQ(amounts.size(), 3u);
+  EXPECT_EQ(amounts[2], 1000);      // final hop delivers exactly
+  EXPECT_EQ(amounts[1], 1005);      // +1 router fee
+  EXPECT_EQ(amounts[0], 1010);      // +2 router fees
+  EXPECT_EQ(core::total_fee(p, 1000, 3), 10);
+  // Single hop: no forwarding router, no fee.
+  EXPECT_EQ(core::total_fee(p, 1000, 1), 0);
+}
+
+TEST(Fees, ProportionalCompoundsPerHop) {
+  FeePolicy p;
+  p.proportional_ppm = 10000;  // 1%
+  const auto amounts = core::hop_amounts(p, 100000, 3);
+  EXPECT_EQ(amounts[2], 100000);
+  EXPECT_EQ(amounts[1], 101000);
+  EXPECT_EQ(amounts[0], 101000 + 1010);
+}
+
+TEST(Fees, BadArgsThrow) {
+  EXPECT_THROW((void)core::hop_amounts(FeePolicy{}, 100, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::hop_amounts(FeePolicy{}, 0, 2),
+               std::invalid_argument);
+}
+
+TEST(Fees, RouteLockWithFeesPaysIntermediaries) {
+  const graph::Graph g = graph::topology::make_line(3);
+  core::ChannelNetwork net(g, std::vector<Amount>{2000, 2000});
+  FeePolicy p;
+  p.base = 50;
+  const auto amounts = core::hop_amounts(p, 500, 2);  // {550, 500}
+  const core::Preimage key = 9;
+  const auto rl = net.lock_route_with_fees(
+      graph::Path{0, {graph::forward_arc(0), graph::forward_arc(1)}},
+      amounts, core::hash_preimage(key));
+  ASSERT_TRUE(rl.has_value());
+  EXPECT_EQ(rl->amount, 500);  // delivered value
+  ASSERT_TRUE(net.settle_route(*rl, key));
+  // Sender paid 550; the middle node received 550 and forwarded 500,
+  // keeping a 50 fee; the receiver got 500.
+  EXPECT_EQ(net.available(graph::forward_arc(0)), 1000 - 550);
+  EXPECT_EQ(net.available(graph::backward_arc(0)), 1000 + 550);
+  EXPECT_EQ(net.available(graph::forward_arc(1)), 1000 - 500);
+  EXPECT_EQ(net.available(graph::backward_arc(1)), 1000 + 500);
+  EXPECT_TRUE(net.conserves_funds());
+}
+
+TEST(Fees, IncreasingAmountsRejected) {
+  const graph::Graph g = graph::topology::make_line(3);
+  core::ChannelNetwork net(g, std::vector<Amount>{2000, 2000});
+  const std::vector<Amount> rising{100, 200};
+  EXPECT_FALSE(net
+                   .lock_route_with_fees(
+                       graph::Path{0, {graph::forward_arc(0),
+                                       graph::forward_arc(1)}},
+                       rising, 1)
+                   .has_value());
+}
+
+TEST(Fees, FlowSimCollectsFeesAndConserves) {
+  const graph::Graph g = graph::topology::make_line(3);
+  schemes::ShortestPathScheme scheme;
+  sim::FlowSimConfig cfg;
+  cfg.end_time = 10;
+  cfg.fee_policy.base = from_units(1);  // 1 unit per forwarded hop
+  sim::FlowSimulator fs(g, std::vector<Amount>(2, from_units(200)), scheme,
+                        cfg);
+  core::PaymentRequest req;
+  req.src = 0;
+  req.dst = 2;
+  req.amount = from_units(50);
+  req.arrival = 1.0;
+  fs.add_payment(req);
+  const sim::Metrics m = fs.run(fluid::PaymentGraph(3));
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.fees_paid, from_units(1));  // one forwarding router
+  EXPECT_TRUE(fs.network().conserves_funds());
+  // The middle node (node 1) netted exactly the fee across its channels.
+  const Amount node1_gain =
+      fs.network().available(graph::backward_arc(0)) - from_units(100) +
+      fs.network().available(graph::forward_arc(1)) - from_units(100);
+  EXPECT_EQ(node1_gain, from_units(1));
+}
+
+TEST(Fees, MaxFeeBudgetBlocksExpensivePaths) {
+  const graph::Graph g = graph::topology::make_line(3);
+  schemes::ShortestPathScheme scheme;
+  sim::FlowSimConfig cfg;
+  cfg.end_time = 10;
+  cfg.fee_policy.base = from_units(5);
+  sim::FlowSimulator fs(g, std::vector<Amount>(2, from_units(200)), scheme,
+                        cfg);
+  core::PaymentRequest req;
+  req.src = 0;
+  req.dst = 2;
+  req.amount = from_units(50);
+  req.arrival = 1.0;
+  req.max_fee = from_units(1);  // cheaper than the 5-unit hop fee
+  fs.add_payment(req);
+  const sim::Metrics m = fs.run(fluid::PaymentGraph(3));
+  EXPECT_EQ(m.succeeded, 0u);
+  EXPECT_EQ(m.fees_paid, 0);
+  EXPECT_EQ(m.delivered_volume, 0);
+}
+
+TEST(Fees, SingleHopPaymentsAreFree) {
+  const graph::Graph g = graph::topology::make_line(2);
+  schemes::ShortestPathScheme scheme;
+  sim::FlowSimConfig cfg;
+  cfg.end_time = 10;
+  cfg.fee_policy.base = from_units(5);
+  sim::FlowSimulator fs(g, std::vector<Amount>{from_units(200)}, scheme,
+                        cfg);
+  core::PaymentRequest req;
+  req.src = 0;
+  req.dst = 1;
+  req.amount = from_units(50);
+  req.arrival = 1.0;
+  req.max_fee = 0;  // direct channel: no forwarding router, no fee
+  fs.add_payment(req);
+  const sim::Metrics m = fs.run(fluid::PaymentGraph(2));
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.fees_paid, 0);
+}
+
+}  // namespace
+}  // namespace spider

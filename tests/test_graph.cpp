@@ -1,0 +1,125 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+
+namespace spider::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  const NodeId n = g.add_node();
+  EXPECT_EQ(n, 3u);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(e, 0u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.arc_count(), 2u);
+  EXPECT_EQ(g.edge_u(e), 0u);
+  EXPECT_EQ(g.edge_v(e), 1u);
+}
+
+TEST(Graph, ArcHelpers) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  const ArcId f = forward_arc(e);
+  const ArcId b = backward_arc(e);
+  EXPECT_EQ(reverse(f), b);
+  EXPECT_EQ(reverse(b), f);
+  EXPECT_EQ(edge_of(f), e);
+  EXPECT_EQ(edge_of(b), e);
+  EXPECT_EQ(g.tail(f), 0u);
+  EXPECT_EQ(g.head(f), 1u);
+  EXPECT_EQ(g.tail(b), 1u);
+  EXPECT_EQ(g.head(b), 0u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeNodeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW((void)g.out_arcs(9), std::out_of_range);
+  EXPECT_THROW((void)g.degree(9), std::out_of_range);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(0, 1);
+  const EdgeId e2 = g.add_edge(0, 1);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.out_arcs(0).size(), 2u);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const EdgeId e = g.add_edge(1, 2);
+  EXPECT_EQ(g.find_edge(1, 2), e);
+  EXPECT_EQ(g.find_edge(2, 1), e);
+  EXPECT_EQ(g.find_edge(0, 3), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, OutArcsEnumerateNeighbours) {
+  Graph g = topology::make_star(5);
+  EXPECT_EQ(g.out_arcs(0).size(), 4u);
+  for (const ArcId a : g.out_arcs(0)) {
+    EXPECT_EQ(g.tail(a), 0u);
+    EXPECT_NE(g.head(a), 0u);
+  }
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(reachable_from(g, 0).size(), 2u);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(reachable_from(g, 0).size(), 4u);
+}
+
+TEST(Path, ValidAndInvalid) {
+  Graph g = topology::make_line(4);  // 0-1-2-3 edges 0,1,2
+  Path p{0, {forward_arc(0), forward_arc(1), forward_arc(2)}};
+  EXPECT_TRUE(p.valid(g));
+  EXPECT_EQ(p.destination(g), 3u);
+  EXPECT_EQ(p.nodes(g), (std::vector<NodeId>{0, 1, 2, 3}));
+
+  Path disconnected{0, {forward_arc(0), forward_arc(2)}};
+  EXPECT_FALSE(disconnected.valid(g));
+
+  Path repeated{0, {forward_arc(0), backward_arc(0)}};
+  EXPECT_FALSE(repeated.valid(g));  // repeated edge: not a trail
+
+  Path empty{2, {}};
+  EXPECT_TRUE(empty.valid(g));
+  EXPECT_EQ(empty.destination(g), 2u);
+
+  Path bad_source{99, {}};
+  EXPECT_FALSE(bad_source.valid(g));
+}
+
+TEST(Path, ToString) {
+  Graph g = topology::make_line(3);
+  Path p{0, {forward_arc(0), forward_arc(1)}};
+  EXPECT_EQ(to_string(p, g), "0 -> 1 -> 2");
+}
+
+}  // namespace
+}  // namespace spider::graph

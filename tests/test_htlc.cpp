@@ -1,0 +1,83 @@
+#include "core/htlc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::core {
+namespace {
+
+TEST(Hash, DeterministicAndSpreading) {
+  EXPECT_EQ(hash_preimage(7), hash_preimage(7));
+  EXPECT_NE(hash_preimage(7), hash_preimage(8));
+  EXPECT_TRUE(unlocks(7, hash_preimage(7)));
+  EXPECT_FALSE(unlocks(8, hash_preimage(7)));
+}
+
+TEST(KeyRing, NonAtomicPerUnitKeys) {
+  HtlcKeyRing ring(123);
+  const TxUnitId u1{1, 0};
+  const TxUnitId u2{1, 1};
+  const LockHash l1 = ring.create_lock(u1);
+  const LockHash l2 = ring.create_lock(u2);
+  EXPECT_NE(l1, l2);  // fresh key per unit (§4.1)
+  EXPECT_EQ(ring.lock_of(u1), l1);
+
+  const auto k1 = ring.release(u1);
+  ASSERT_TRUE(k1.has_value());
+  EXPECT_TRUE(unlocks(*k1, l1));
+  EXPECT_FALSE(unlocks(*k1, l2));
+  // Double release refused.
+  EXPECT_FALSE(ring.release(u1).has_value());
+  // Unknown unit refused.
+  EXPECT_FALSE(ring.release(TxUnitId{9, 9}).has_value());
+}
+
+TEST(KeyRing, AtomicSharesUnlockTheirOwnLocks) {
+  HtlcKeyRing ring(7);
+  const PaymentId pid = 5;
+  const auto locks = ring.create_atomic_locks(pid, 4);
+  ASSERT_EQ(locks.size(), 4u);
+  // Base refuses to release before all units confirmed.
+  EXPECT_FALSE(ring.release_atomic(pid, 3).has_value());
+  const auto base = ring.release_atomic(pid, 4);
+  ASSERT_TRUE(base.has_value());
+  // Per-unit shares unlock their per-unit locks.
+  Preimage xor_of_shares = 0;
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    const auto share = ring.release(TxUnitId{pid, seq});
+    ASSERT_TRUE(share.has_value());
+    EXPECT_TRUE(unlocks(*share, locks[seq]));
+    xor_of_shares ^= *share;
+  }
+  // Additive (XOR) secret sharing: shares reconstruct the base key.
+  EXPECT_EQ(xor_of_shares, *base);
+  // Base releases only once.
+  EXPECT_FALSE(ring.release_atomic(pid, 4).has_value());
+}
+
+TEST(KeyRing, AtomicSingleUnit) {
+  HtlcKeyRing ring(9);
+  const auto locks = ring.create_atomic_locks(2, 1);
+  ASSERT_EQ(locks.size(), 1u);
+  const auto base = ring.release_atomic(2, 1);
+  ASSERT_TRUE(base.has_value());
+  const auto share = ring.release(TxUnitId{2, 0});
+  ASSERT_TRUE(share.has_value());
+  EXPECT_EQ(*share, *base);  // single share == base key
+}
+
+TEST(KeyRing, UnknownAtomicPayment) {
+  HtlcKeyRing ring(1);
+  EXPECT_FALSE(ring.release_atomic(77, 1).has_value());
+  EXPECT_FALSE(ring.lock_of(TxUnitId{77, 0}).has_value());
+}
+
+TEST(KeyRing, SeedsGiveIndependentKeys) {
+  HtlcKeyRing a(1), b(2);
+  EXPECT_NE(a.create_lock(TxUnitId{0, 0}), b.create_lock(TxUnitId{0, 0}));
+  HtlcKeyRing c(1);
+  EXPECT_EQ(HtlcKeyRing(1).create_lock(TxUnitId{0, 0}),
+            c.create_lock(TxUnitId{0, 0}));
+}
+
+}  // namespace
+}  // namespace spider::core

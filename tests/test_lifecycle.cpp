@@ -1,0 +1,143 @@
+#include "chain/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::chain {
+namespace {
+
+using core::from_units;
+
+struct Fixture {
+  Blockchain chain{BlockchainConfig{10.0, 100, 0}};
+
+  ChannelLifecycle open_channel(Amount a = from_units(3),
+                                Amount b = from_units(4)) {
+    // Mirrors Fig. 1: Alice escrows 3, Bob escrows 4.
+    ChannelLifecycle ch(chain, a, b, /*fee=*/10, /*now=*/0.0,
+                        /*dispute_window=*/30.0);
+    chain.mine_block(10.0);
+    (void)ch.poll(10.0);
+    return ch;
+  }
+};
+
+TEST(Lifecycle, OpensAfterFundingConfirms) {
+  Fixture f;
+  ChannelLifecycle ch(f.chain, from_units(3), from_units(4), 10, 0.0);
+  EXPECT_EQ(ch.state(), LifecycleState::kOpening);
+  EXPECT_FALSE(ch.update_balance(true, 1));  // unusable until confirmed
+  f.chain.mine_block(10.0);
+  (void)ch.poll(10.0);
+  EXPECT_EQ(ch.state(), LifecycleState::kOpen);
+  EXPECT_EQ(ch.total_escrow(), from_units(7));
+}
+
+TEST(Lifecycle, OffChainUpdatesFollowFig1) {
+  Fixture f;
+  ChannelLifecycle ch = f.open_channel();
+  // Bob sends 1 to Alice: 4/3; then Alice sends 2 to Bob: 2/5 (Fig. 1).
+  EXPECT_TRUE(ch.update_balance(false, from_units(1)));
+  EXPECT_EQ(ch.latest().balance_a, from_units(4));
+  EXPECT_EQ(ch.latest().balance_b, from_units(3));
+  EXPECT_TRUE(ch.update_balance(true, from_units(2)));
+  EXPECT_EQ(ch.latest().balance_a, from_units(2));
+  EXPECT_EQ(ch.latest().balance_b, from_units(5));
+  EXPECT_EQ(ch.revision(), 2u);
+  // Overdraft refused, escrow constant.
+  EXPECT_FALSE(ch.update_balance(true, from_units(10)));
+  EXPECT_EQ(ch.total_escrow(), from_units(7));
+}
+
+TEST(Lifecycle, CooperativeClosePaysLatestBalances) {
+  Fixture f;
+  ChannelLifecycle ch = f.open_channel();
+  ASSERT_TRUE(ch.update_balance(false, from_units(1)));
+  ASSERT_TRUE(ch.close_cooperative(5, 11.0));
+  EXPECT_EQ(ch.state(), LifecycleState::kClosing);
+  EXPECT_FALSE(ch.update_balance(true, 1));  // frozen
+  f.chain.mine_block(20.0);
+  const auto payout = ch.poll(20.0);
+  ASSERT_TRUE(payout.has_value());
+  EXPECT_EQ(payout->to_a, from_units(4));
+  EXPECT_EQ(payout->to_b, from_units(3));
+  EXPECT_EQ(ch.state(), LifecycleState::kClosed);
+}
+
+TEST(Lifecycle, HonestUnilateralCloseWaitsOutDisputeWindow) {
+  Fixture f;
+  ChannelLifecycle ch = f.open_channel();
+  ASSERT_TRUE(ch.update_balance(true, from_units(2)));
+  ASSERT_TRUE(ch.close_unilateral(ch.latest(), /*by_a=*/true, 5, 11.0));
+  f.chain.mine_block(20.0);
+  // Window (30 s) not yet elapsed from confirmation at t=20.
+  EXPECT_FALSE(ch.poll(30.0).has_value());
+  const auto payout = ch.poll(51.0);
+  ASSERT_TRUE(payout.has_value());
+  EXPECT_EQ(payout->to_a, from_units(1));
+  EXPECT_EQ(payout->to_b, from_units(6));
+}
+
+TEST(Lifecycle, CheaterForfeitsEverything) {
+  Fixture f;
+  ChannelLifecycle ch = f.open_channel();
+  const BalanceSnapshot old_state = ch.latest();  // revision 0: 3/4
+  ASSERT_TRUE(ch.update_balance(false, from_units(3)));  // now 6/1
+  // Bob cheats: publishes the revoked 3/4 split (better for him).
+  ASSERT_TRUE(ch.close_unilateral(old_state, /*by_a=*/false, 5, 11.0));
+  f.chain.mine_block(20.0);
+  (void)ch.poll(20.0);
+  // Alice contests with the newer revision inside the window.
+  ASSERT_TRUE(ch.contest(ch.latest(), 5, 25.0));
+  f.chain.mine_block(30.0);
+  const auto payout = ch.poll(30.0);
+  ASSERT_TRUE(payout.has_value());
+  EXPECT_EQ(payout->to_a, from_units(7));  // Bob loses all escrow (§2)
+  EXPECT_EQ(payout->to_b, 0);
+}
+
+TEST(Lifecycle, LateContestFails) {
+  Fixture f;
+  ChannelLifecycle ch = f.open_channel();
+  const BalanceSnapshot old_state = ch.latest();
+  ASSERT_TRUE(ch.update_balance(false, from_units(3)));
+  ASSERT_TRUE(ch.close_unilateral(old_state, false, 5, 11.0));
+  f.chain.mine_block(20.0);
+  (void)ch.poll(20.0);
+  // Window ends at 50; contest at 60 is too late -- cheater escapes.
+  EXPECT_FALSE(ch.contest(ch.latest(), 5, 60.0));
+  const auto payout = ch.poll(60.0);
+  ASSERT_TRUE(payout.has_value());
+  EXPECT_EQ(payout->to_a, from_units(3));
+  EXPECT_EQ(payout->to_b, from_units(4));
+}
+
+TEST(Lifecycle, InvalidClosesAndContestsRejected) {
+  Fixture f;
+  ChannelLifecycle ch = f.open_channel();
+  ASSERT_TRUE(ch.update_balance(true, from_units(1)));
+  // Fabricated snapshot: wrong total.
+  BalanceSnapshot fake{1, from_units(100), from_units(100)};
+  EXPECT_FALSE(ch.close_unilateral(fake, true, 5, 11.0));
+  // Future revision never signed.
+  BalanceSnapshot future{99, from_units(2), from_units(5)};
+  EXPECT_FALSE(ch.close_unilateral(future, true, 5, 11.0));
+  // Contest is meaningless while the channel is open.
+  EXPECT_FALSE(ch.contest(ch.latest(), 5, 11.0));
+  // Honest close, then contest with the SAME revision: rejected.
+  ASSERT_TRUE(ch.close_unilateral(ch.latest(), true, 5, 12.0));
+  f.chain.mine_block(20.0);
+  EXPECT_FALSE(ch.contest(ch.latest(), 5, 21.0));
+  // Cooperative close after a unilateral one: rejected.
+  EXPECT_FALSE(ch.close_cooperative(5, 22.0));
+}
+
+TEST(Lifecycle, BadDepositsThrow) {
+  Fixture f;
+  EXPECT_THROW(ChannelLifecycle(f.chain, -1, 5, 1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ChannelLifecycle(f.chain, 0, 0, 1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spider::chain

@@ -1,0 +1,172 @@
+#include "lp/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace spider::lp {
+namespace {
+
+TEST(Lp, SimpleTwoVariable) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  => x=2, y=2, obj=10.
+  Problem p(2);
+  p.set_objective(0, 3);
+  p.set_objective(1, 2);
+  p.add_constraint({{0, 1}, {1, 1}}, Relation::kLessEq, 4);
+  p.add_constraint({{0, 1}}, Relation::kLessEq, 2);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 10.0, 2e-6);
+  EXPECT_NEAR(s.x[0], 2.0, 2e-6);
+  EXPECT_NEAR(s.x[1], 2.0, 2e-6);
+}
+
+TEST(Lp, EqualityConstraint) {
+  // max x + y s.t. x + y = 3, x <= 1 => obj 3 with x<=1.
+  Problem p(2);
+  p.set_objective(0, 1);
+  p.set_objective(1, 1);
+  p.add_constraint({{0, 1}, {1, 1}}, Relation::kEq, 3);
+  p.add_constraint({{0, 1}}, Relation::kLessEq, 1);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 2e-6);
+  EXPECT_LE(s.x[0], 1.0 + 2e-6);
+}
+
+TEST(Lp, GreaterEqConstraint) {
+  // max -x s.t. x >= 2  => x=2, obj=-2.
+  Problem p(1);
+  p.set_objective(0, -1);
+  p.add_constraint({{0, 1}}, Relation::kGreaterEq, 2);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.0, 2e-6);
+  EXPECT_NEAR(s.objective, -2.0, 2e-6);
+}
+
+TEST(Lp, Infeasible) {
+  Problem p(1);
+  p.set_objective(0, 1);
+  p.add_constraint({{0, 1}}, Relation::kLessEq, 1);
+  p.add_constraint({{0, 1}}, Relation::kGreaterEq, 2);
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Lp, Unbounded) {
+  Problem p(1);
+  p.set_objective(0, 1);
+  p.add_constraint({{0, -1}}, Relation::kLessEq, 0);  // -x <= 0, no bound up
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Lp, NegativeRhsNormalized) {
+  // max x s.t. -x <= -2 (i.e. x >= 2), x <= 5.
+  Problem p(1);
+  p.set_objective(0, 1);
+  p.add_constraint({{0, -1}}, Relation::kLessEq, -2);
+  p.add_constraint({{0, 1}}, Relation::kLessEq, 5);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 5.0, 2e-6);
+}
+
+TEST(Lp, DuplicateTermsSummed) {
+  // max x with (0.5x + 0.5x) <= 3 => x = 3.
+  Problem p(1);
+  p.set_objective(0, 1);
+  p.add_constraint({{0, 0.5}, {0, 0.5}}, Relation::kLessEq, 3);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 3.0, 2e-6);
+}
+
+TEST(Lp, DegenerateInstance) {
+  // Multiple redundant constraints through the optimum.
+  Problem p(2);
+  p.set_objective(0, 1);
+  p.set_objective(1, 1);
+  p.add_constraint({{0, 1}, {1, 1}}, Relation::kLessEq, 2);
+  p.add_constraint({{0, 1}, {1, 1}}, Relation::kLessEq, 2);
+  p.add_constraint({{0, 2}, {1, 2}}, Relation::kLessEq, 4);
+  p.add_constraint({{0, 1}}, Relation::kLessEq, 2);
+  p.add_constraint({{1, 1}}, Relation::kLessEq, 2);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, 2e-6);
+}
+
+TEST(Lp, RedundantEqualityRowsDropped) {
+  // x + y = 2 twice, max x => x = 2.
+  Problem p(2);
+  p.set_objective(0, 1);
+  p.add_constraint({{0, 1}, {1, 1}}, Relation::kEq, 2);
+  p.add_constraint({{0, 1}, {1, 1}}, Relation::kEq, 2);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.0, 2e-6);
+}
+
+TEST(Lp, VarOutOfRangeThrows) {
+  Problem p(2);
+  EXPECT_THROW(p.set_objective(2, 1.0), std::invalid_argument);
+  EXPECT_THROW(p.add_constraint({{5, 1.0}}, Relation::kLessEq, 1),
+               std::invalid_argument);
+}
+
+TEST(Lp, FeasibilityChecker) {
+  Problem p(2);
+  p.add_constraint({{0, 1}, {1, 1}}, Relation::kLessEq, 4);
+  p.add_constraint({{0, 1}}, Relation::kGreaterEq, 1);
+  EXPECT_TRUE(is_feasible(p, {2, 1}));
+  EXPECT_FALSE(is_feasible(p, {0, 1}));     // violates >=
+  EXPECT_FALSE(is_feasible(p, {5, 0}));     // violates <=
+  EXPECT_FALSE(is_feasible(p, {-1, 1}));    // negative var
+  EXPECT_FALSE(is_feasible(p, {1}));        // wrong arity
+}
+
+// Property test: random LPs with a known feasible box. The solver's
+// solution must be feasible and at least as good as any sampled feasible
+// point.
+class LpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpPropertyTest, OptimalBeatsRandomFeasiblePoints) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> coef(-2.0, 2.0);
+  std::uniform_real_distribution<double> pos(0.5, 3.0);
+  const std::size_t n = 5;
+  const std::size_t m = 7;
+  Problem p(n);
+  for (std::size_t j = 0; j < n; ++j) p.set_objective(j, coef(rng));
+  // Constraints a'x <= b with a >= 0 entries and b > 0 keep the origin
+  // feasible and the problem bounded via a box row.
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < n; ++j) {
+      terms.push_back({j, std::abs(coef(rng))});
+    }
+    p.add_constraint(std::move(terms), Relation::kLessEq, pos(rng) * 3);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    p.add_constraint({{j, 1.0}}, Relation::kLessEq, 4.0);  // box
+  }
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_TRUE(is_feasible(p, s.x, 1e-6));
+  EXPECT_NEAR(objective_value(p, s.x), s.objective, 1e-6);
+  // Sample feasible points by scaling random directions into the region.
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(n);
+    for (double& v : x) v = unit(rng) * 0.2;  // small => likely feasible
+    if (is_feasible(p, x)) {
+      EXPECT_GE(s.objective, objective_value(p, x) - 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace spider::lp

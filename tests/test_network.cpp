@@ -1,0 +1,138 @@
+#include "core/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+
+namespace spider::core {
+namespace {
+
+constexpr Preimage kKey = 42;
+const LockHash kLock = hash_preimage(kKey);
+
+graph::Path line_path(const graph::Graph& g, std::size_t hops) {
+  graph::Path p{0, {}};
+  for (graph::EdgeId e = 0; e < hops; ++e) {
+    p.arcs.push_back(graph::forward_arc(e));
+  }
+  EXPECT_TRUE(p.valid(g));
+  return p;
+}
+
+TEST(ChannelNetwork, EqualSplitConstruction) {
+  const graph::Graph g = graph::topology::make_line(3);
+  const ChannelNetwork net(g, std::vector<Amount>{1000, 501});
+  EXPECT_EQ(net.channel(0).balance(Side::kA), 500);
+  EXPECT_EQ(net.channel(0).balance(Side::kB), 500);
+  // Odd milli-unit goes to side A.
+  EXPECT_EQ(net.channel(1).balance(Side::kA), 251);
+  EXPECT_EQ(net.channel(1).balance(Side::kB), 250);
+  EXPECT_EQ(net.total_funds(), 1501);
+}
+
+TEST(ChannelNetwork, ExplicitDeposits) {
+  const graph::Graph g = graph::topology::make_line(2);
+  const std::vector<std::pair<Amount, Amount>> deposits{{300, 700}};
+  const ChannelNetwork net(g, deposits);
+  EXPECT_EQ(net.available(graph::forward_arc(0)), 300);
+  EXPECT_EQ(net.available(graph::backward_arc(0)), 700);
+}
+
+TEST(ChannelNetwork, SizeMismatchThrows) {
+  const graph::Graph g = graph::topology::make_line(3);
+  EXPECT_THROW(ChannelNetwork(g, std::vector<Amount>{1000}),
+               std::invalid_argument);
+}
+
+TEST(ChannelNetwork, PathAvailableIsBottleneck) {
+  const graph::Graph g = graph::topology::make_line(4);
+  const ChannelNetwork net(g, std::vector<Amount>{1000, 200, 600});
+  const graph::Path p = line_path(g, 3);
+  EXPECT_EQ(net.path_available(p), 100);  // 200/2 on the middle hop
+  EXPECT_EQ(net.path_available(graph::Path{0, {}}), 0);
+}
+
+TEST(ChannelNetwork, LockSettleMovesFundsEndToEnd) {
+  const graph::Graph g = graph::topology::make_line(3);
+  ChannelNetwork net(g, std::vector<Amount>{1000, 1000});
+  const graph::Path p = line_path(g, 2);
+  const auto rl = net.lock_route(p, 200, kLock);
+  ASSERT_TRUE(rl.has_value());
+  // While in flight, funds are unavailable along the whole path
+  // (paper §6.1).
+  EXPECT_EQ(net.available(graph::forward_arc(0)), 300);
+  EXPECT_EQ(net.available(graph::forward_arc(1)), 300);
+  EXPECT_TRUE(net.conserves_funds());
+
+  ASSERT_TRUE(net.settle_route(*rl, kKey));
+  // Sender side lost 200 on hop 0; intermediate node 1 lost on hop 1 and
+  // gained on hop 0; receiver gained on hop 1.
+  EXPECT_EQ(net.available(graph::forward_arc(0)), 300);
+  EXPECT_EQ(net.available(graph::backward_arc(0)), 700);
+  EXPECT_EQ(net.available(graph::forward_arc(1)), 300);
+  EXPECT_EQ(net.available(graph::backward_arc(1)), 700);
+  EXPECT_TRUE(net.conserves_funds());
+  EXPECT_EQ(net.total_funds(), 2000);
+  EXPECT_EQ(net.imbalance(0), -400);
+}
+
+TEST(ChannelNetwork, LockRollsBackOnMidPathFailure) {
+  const graph::Graph g = graph::topology::make_line(3);
+  // Second hop has too little on the forward side.
+  const std::vector<std::pair<Amount, Amount>> deposits{{500, 500},
+                                                        {100, 900}};
+  ChannelNetwork net(g, deposits);
+  const graph::Path p = line_path(g, 2);
+  EXPECT_FALSE(net.lock_route(p, 200, kLock).has_value());
+  // First hop's partial lock was rolled back.
+  EXPECT_EQ(net.available(graph::forward_arc(0)), 500);
+  EXPECT_EQ(net.channel(0).pending(Side::kA), 0);
+  EXPECT_TRUE(net.conserves_funds());
+}
+
+TEST(ChannelNetwork, FailRouteRestoresEverything) {
+  const graph::Graph g = graph::topology::make_line(3);
+  ChannelNetwork net(g, std::vector<Amount>{1000, 1000});
+  const graph::Path p = line_path(g, 2);
+  const auto rl = net.lock_route(p, 200, kLock);
+  ASSERT_TRUE(rl);
+  net.fail_route(*rl);
+  EXPECT_EQ(net.available(graph::forward_arc(0)), 500);
+  EXPECT_EQ(net.available(graph::forward_arc(1)), 500);
+  EXPECT_TRUE(net.conserves_funds());
+}
+
+TEST(ChannelNetwork, SettleWithWrongKeyRefused) {
+  const graph::Graph g = graph::topology::make_line(2);
+  ChannelNetwork net(g, std::vector<Amount>{1000});
+  const auto rl = net.lock_route(line_path(g, 1), 100, kLock);
+  ASSERT_TRUE(rl);
+  EXPECT_FALSE(net.settle_route(*rl, kKey + 1));
+  // Still pending; correct key settles.
+  EXPECT_TRUE(net.settle_route(*rl, kKey));
+}
+
+TEST(ChannelNetwork, DoubleSettleThrowsLogicError) {
+  const graph::Graph g = graph::topology::make_line(2);
+  ChannelNetwork net(g, std::vector<Amount>{1000});
+  const auto rl = net.lock_route(line_path(g, 1), 100, kLock);
+  ASSERT_TRUE(net.settle_route(*rl, kKey));
+  EXPECT_THROW((void)net.settle_route(*rl, kKey), std::logic_error);
+  EXPECT_THROW(net.fail_route(*rl), std::logic_error);
+}
+
+TEST(ChannelNetwork, ZeroOrNegativeAmountRejected) {
+  const graph::Graph g = graph::topology::make_line(2);
+  ChannelNetwork net(g, std::vector<Amount>{1000});
+  EXPECT_FALSE(net.lock_route(line_path(g, 1), 0, kLock).has_value());
+  EXPECT_FALSE(net.lock_route(line_path(g, 1), -5, kLock).has_value());
+  EXPECT_FALSE(net.lock_route(graph::Path{0, {}}, 10, kLock).has_value());
+}
+
+TEST(ChannelNetwork, ArcSides) {
+  EXPECT_EQ(ChannelNetwork::arc_side(graph::forward_arc(3)), Side::kA);
+  EXPECT_EQ(ChannelNetwork::arc_side(graph::backward_arc(3)), Side::kB);
+}
+
+}  // namespace
+}  // namespace spider::core

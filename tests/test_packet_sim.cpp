@@ -1,0 +1,239 @@
+#include "sim/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+
+namespace spider::sim {
+namespace {
+
+using core::Amount;
+using core::from_units;
+using core::PaymentKind;
+using core::PaymentRequest;
+
+PaymentRequest payment(core::NodeId src, core::NodeId dst, double units,
+                       TimePoint arrival, PaymentKind kind,
+                       TimePoint deadline = core::kNever) {
+  PaymentRequest req;
+  req.src = src;
+  req.dst = dst;
+  req.amount = from_units(units);
+  req.arrival = arrival;
+  req.kind = kind;
+  req.deadline = deadline;
+  return req;
+}
+
+TEST(PacketSim, SingleNonAtomicPaymentDelivers) {
+  const graph::Graph g = graph::topology::make_line(3);
+  PacketSimConfig cfg;
+  cfg.end_time = 20;
+  cfg.mtu = from_units(10);
+  PacketSimulator sim(g, std::vector<Amount>(2, from_units(100)), cfg);
+  sim.submit(payment(0, 2, 35, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.delivered_volume, from_units(35));
+  // ceil(35/10) = 4 transaction units.
+  EXPECT_EQ(m.units_sent, 4u);
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, FundsMoveAcrossEveryHop) {
+  const graph::Graph g = graph::topology::make_line(3);
+  PacketSimConfig cfg;
+  cfg.end_time = 20;
+  cfg.mtu = from_units(5);
+  PacketSimulator sim(g, std::vector<Amount>(2, from_units(100)), cfg);
+  sim.submit(payment(0, 2, 20, 1.0, PaymentKind::kNonAtomic));
+  (void)sim.run();
+  EXPECT_EQ(sim.network().available(graph::forward_arc(0)), from_units(30));
+  EXPECT_EQ(sim.network().available(graph::backward_arc(0)), from_units(70));
+  EXPECT_EQ(sim.network().available(graph::forward_arc(1)), from_units(30));
+  EXPECT_EQ(sim.network().available(graph::backward_arc(1)), from_units(70));
+}
+
+TEST(PacketSim, AtomicPaymentAllOrNothingSuccess) {
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimConfig cfg;
+  cfg.end_time = 20;
+  cfg.mtu = from_units(10);
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  sim.submit(payment(0, 1, 30, 1.0, PaymentKind::kAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.delivered_volume, from_units(30));
+}
+
+TEST(PacketSim, AtomicPaymentFailsCleanlyWhenShort) {
+  // 80 requested, only 50 available: atomic delivers nothing and, after
+  // the deadline, all held funds return.
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimConfig cfg;
+  cfg.end_time = 30;
+  cfg.mtu = from_units(10);
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  sim.submit(payment(0, 1, 80, 1.0, PaymentKind::kAtomic, /*deadline=*/5.0));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 0u);
+  EXPECT_EQ(m.failed, 1u);
+  EXPECT_EQ(m.delivered_volume, 0);
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, UnitsQueueAtDryChannelAndDrainLater) {
+  // A 0->1 payment drains the channel; a later 1->0 payment refills it,
+  // releasing the queued units (Fig. 3 behaviour).
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimConfig cfg;
+  cfg.end_time = 60;
+  cfg.mtu = from_units(10);
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  sim.submit(payment(0, 1, 80, 1.0, PaymentKind::kNonAtomic));
+  sim.submit(payment(1, 0, 60, 5.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 2u);
+  EXPECT_EQ(m.delivered_volume, from_units(140));
+  EXPECT_EQ(sim.queued_units(), 0u);
+}
+
+TEST(PacketSim, ExpiredQueuedUnitsAreFailed) {
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimConfig cfg;
+  cfg.end_time = 30;
+  cfg.mtu = from_units(10);
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  sim.submit(payment(0, 1, 80, 1.0, PaymentKind::kNonAtomic,
+                     /*deadline=*/4.0));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.partial, 1u);
+  EXPECT_EQ(m.delivered_volume, from_units(50));
+  EXPECT_EQ(sim.queued_units(), 0u);  // expired units swept
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, MultipathSplitsAcrossDisjointPaths) {
+  // Ring: two disjoint 0->2 paths of 50 each; a 80-unit payment needs
+  // both (widest-path unit placement alternates as balances drain).
+  const graph::Graph g = graph::topology::make_ring(4);
+  PacketSimConfig cfg;
+  cfg.end_time = 30;
+  cfg.mtu = from_units(10);
+  PacketSimulator sim(g, std::vector<Amount>(4, from_units(100)), cfg);
+  sim.submit(payment(0, 2, 80, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.delivered_volume, from_units(80));
+}
+
+TEST(PacketSim, RoundRobinPathPolicy) {
+  const graph::Graph g = graph::topology::make_ring(4);
+  PacketSimConfig cfg;
+  cfg.end_time = 30;
+  cfg.mtu = from_units(10);
+  cfg.path_policy = UnitPathPolicy::kRoundRobin;
+  PacketSimulator sim(g, std::vector<Amount>(4, from_units(100)), cfg);
+  sim.submit(payment(0, 2, 60, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+}
+
+TEST(PacketSim, DisconnectedDestinationFails) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);  // node 2 isolated
+  PacketSimConfig cfg;
+  cfg.end_time = 10;
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  sim.submit(payment(0, 2, 10, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.failed, 1u);
+  EXPECT_EQ(m.delivered_volume, 0);
+}
+
+TEST(PacketSim, ApiMisuseThrows) {
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, {});
+  EXPECT_THROW(sim.submit(payment(0, 0, 10, 1.0, PaymentKind::kNonAtomic)),
+               std::invalid_argument);
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), std::logic_error);
+  PacketSimConfig bad;
+  bad.mtu = 0;
+  EXPECT_THROW(
+      PacketSimulator(g, std::vector<Amount>{from_units(100)}, bad),
+      std::invalid_argument);
+}
+
+TEST(PacketSim, CongestionControlStillDeliversEverything) {
+  const graph::Graph g = graph::topology::make_ring(4);
+  PacketSimConfig cfg;
+  cfg.end_time = 60;
+  cfg.mtu = from_units(5);
+  cfg.enable_congestion_control = true;
+  cfg.cc_initial_window = 2.0;
+  PacketSimulator sim(g, std::vector<Amount>(4, from_units(100)), cfg);
+  sim.submit(payment(0, 2, 80, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.delivered_volume, from_units(80));
+  EXPECT_EQ(sim.backlog_units(), 0u);
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, CongestionControlPacesInjection) {
+  // With a window of 2 and 8 units to send, the host may not have more
+  // than 2 units in the network at once; everything still delivers.
+  const graph::Graph g = graph::topology::make_line(3);
+  PacketSimConfig cfg;
+  cfg.end_time = 60;
+  cfg.mtu = from_units(10);
+  cfg.enable_congestion_control = true;
+  cfg.cc_initial_window = 2.0;
+  cfg.cc_max_window = 2.0;  // clamp: no growth
+  PacketSimulator sim(g, std::vector<Amount>(2, from_units(200)), cfg);
+  sim.submit(payment(0, 2, 80, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+  // Units can only be in flight two at a time; with hop+ack delays of
+  // 0.05 s a full window turn takes ~0.2 s, so completion is strictly
+  // later than the un-paced case (which pipelines all 8 at once).
+  EXPECT_GT(m.mean_completion_latency(), 0.5);
+}
+
+TEST(PacketSim, CongestionControlHandlesUnroutablePairs) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);  // node 2 unreachable
+  PacketSimConfig cfg;
+  cfg.end_time = 20;
+  cfg.mtu = from_units(5);
+  cfg.enable_congestion_control = true;
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  sim.submit(payment(0, 2, 50, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.failed, 1u);
+  EXPECT_EQ(sim.backlog_units(), 0u);
+}
+
+TEST(PacketSim, ConservationUnderLoad) {
+  const graph::Graph g = graph::topology::make_isp32();
+  PacketSimConfig cfg;
+  cfg.end_time = 15;
+  cfg.mtu = from_units(5);
+  PacketSimulator sim(
+      g, std::vector<Amount>(g.edge_count(), from_units(100)), cfg);
+  for (int i = 0; i < 150; ++i) {
+    sim.submit(payment(static_cast<core::NodeId>(i % 32),
+                       static_cast<core::NodeId>((i * 11 + 5) % 32),
+                       3.0 + (i % 17), 0.05 * i, PaymentKind::kNonAtomic,
+                       /*deadline=*/0.05 * i + 8.0));
+  }
+  const Metrics m = sim.run();
+  EXPECT_GT(m.succeeded, 100u);
+  EXPECT_TRUE(sim.network().conserves_funds());
+  EXPECT_EQ(sim.network().total_funds(),
+            static_cast<Amount>(g.edge_count()) * from_units(100));
+}
+
+}  // namespace
+}  // namespace spider::sim

@@ -1,0 +1,217 @@
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "graph/topology.hpp"
+
+namespace spider::graph {
+namespace {
+
+ArcWeightFn unit_weight() {
+  return [](ArcId) { return 1.0; };
+}
+
+TEST(BfsShortestPath, LineGraph) {
+  const Graph g = topology::make_line(5);
+  const auto p = bfs_shortest_path(g, 0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 4u);
+  EXPECT_TRUE(p->valid(g));
+  EXPECT_EQ(p->destination(g), 4u);
+}
+
+TEST(BfsShortestPath, SameSourceAndTarget) {
+  const Graph g = topology::make_line(3);
+  const auto p = bfs_shortest_path(g, 1, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(BfsShortestPath, Unreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(bfs_shortest_path(g, 0, 3).has_value());
+}
+
+TEST(BfsShortestPath, BlockedEdges) {
+  const Graph g = topology::make_ring(4);  // 0-1-2-3-0
+  std::vector<char> blocked(g.edge_count(), 0);
+  blocked[0] = 1;  // block 0-1
+  const auto p = bfs_shortest_path(g, 0, 1, blocked);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 3u);  // forced the long way round
+}
+
+TEST(Dijkstra, PrefersLightPath) {
+  // Triangle where the direct edge is heavy.
+  Graph g(3);
+  const EdgeId direct = g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto w = [direct](ArcId a) {
+    return edge_of(a) == direct ? 10.0 : 1.0;
+  };
+  const auto p = dijkstra_shortest_path(g, 0, 2, w);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+  EXPECT_DOUBLE_EQ(path_weight(*p, w), 2.0);
+}
+
+TEST(Dijkstra, NegativeWeightThrows) {
+  const Graph g = topology::make_line(3);
+  EXPECT_THROW(
+      (void)dijkstra_shortest_path(g, 0, 2, [](ArcId) { return -1.0; }),
+      std::invalid_argument);
+}
+
+TEST(Yen, FindsDistinctPathsInOrder) {
+  const Graph g = topology::make_fig4_example();
+  // From node 0 to node 3: 0-1-3 (2 hops), 0-1-2-3 (3 hops).
+  const auto paths = yen_k_shortest_paths(g, 0, 3, 4);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].length(), 2u);
+  EXPECT_EQ(paths[1].length(), 3u);
+  std::set<std::vector<ArcId>> distinct;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(p.valid(g)) << to_string(p, g);
+    EXPECT_EQ(p.source, 0u);
+    EXPECT_EQ(p.destination(g), 3u);
+    EXPECT_TRUE(distinct.insert(p.arcs).second) << "duplicate path";
+  }
+  // Non-decreasing lengths under unit weights.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].length(), paths[i].length());
+  }
+}
+
+TEST(Yen, KZeroAndUnreachable) {
+  const Graph g = topology::make_line(3);
+  EXPECT_TRUE(yen_k_shortest_paths(g, 0, 2, 0).empty());
+  Graph h(3);
+  h.add_edge(0, 1);
+  EXPECT_TRUE(yen_k_shortest_paths(h, 0, 2, 3).empty());
+}
+
+TEST(EdgeDisjoint, PathsShareNoEdges) {
+  const Graph g = topology::make_complete(5);
+  const auto paths = edge_disjoint_shortest_paths(g, 0, 4, 4);
+  EXPECT_EQ(paths.size(), 4u);  // K5 has 4 edge-disjoint 0->4 paths
+  std::set<EdgeId> used;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(p.valid(g));
+    for (const ArcId a : p.arcs) {
+      EXPECT_TRUE(used.insert(edge_of(a)).second)
+          << "edge reused across paths";
+    }
+  }
+  // First path is a shortest path.
+  EXPECT_EQ(paths[0].length(), 1u);
+}
+
+TEST(EdgeDisjoint, LimitedByCuts) {
+  const Graph g = topology::make_line(4);  // single path only
+  const auto paths = edge_disjoint_shortest_paths(g, 0, 3, 4);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(WidestPath, PicksHighCapacityRoute) {
+  // 0-2 direct has capacity 1; 0-1-2 has capacity 5.
+  Graph g(3);
+  const EdgeId direct = g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto cap = [direct](ArcId a) {
+    return edge_of(a) == direct ? 1.0 : 5.0;
+  };
+  const auto p = widest_path(g, 0, 2, cap);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+  EXPECT_DOUBLE_EQ(path_bottleneck(*p, cap), 5.0);
+}
+
+TEST(WidestPath, TieBrokenByHops) {
+  const Graph g = topology::make_ring(6);
+  const auto p = widest_path(g, 0, 2, unit_weight());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);  // both directions width 1; fewer hops wins
+}
+
+TEST(WidestPath, ZeroCapacityArcsUnusable) {
+  const Graph g = topology::make_line(3);
+  auto cap = [](ArcId a) { return edge_of(a) == 1 ? 0.0 : 3.0; };
+  EXPECT_FALSE(widest_path(g, 0, 2, cap).has_value());
+}
+
+TEST(EdgeDisjointWidest, DisjointAndOrdered) {
+  const Graph g = topology::make_complete(4);
+  const auto paths = edge_disjoint_widest_paths(g, 0, 3, 3, unit_weight());
+  EXPECT_EQ(paths.size(), 3u);
+  std::set<EdgeId> used;
+  for (const Path& p : paths) {
+    for (const ArcId a : p.arcs) EXPECT_TRUE(used.insert(edge_of(a)).second);
+  }
+}
+
+TEST(SpanningTree, CoversAllNodes) {
+  const Graph g = topology::make_isp32();
+  const auto tree = bfs_spanning_tree(g);
+  EXPECT_EQ(tree.size(), g.node_count() - 1);
+  // A tree path exists between arbitrary nodes and stays inside the tree.
+  const Path p = tree_path(g, tree, 3, 27);
+  EXPECT_TRUE(p.valid(g));
+  std::set<EdgeId> tset(tree.begin(), tree.end());
+  for (const ArcId a : p.arcs) EXPECT_TRUE(tset.contains(edge_of(a)));
+}
+
+TEST(SpanningTree, DisconnectedThrows) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)bfs_spanning_tree(g), std::invalid_argument);
+}
+
+// Property sweep: on random connected graphs, Yen agrees with BFS on the
+// first path length, disjoint paths are disjoint, and every returned
+// path is a valid trail to the right destination.
+class PathPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathPropertyTest, RandomGraphInvariants) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = topology::make_erdos_renyi(14, 0.3, seed);
+  std::mt19937_64 rng(seed ^ 0xabcdef);
+  std::uniform_int_distribution<NodeId> node(0, 13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId s = node(rng);
+    NodeId t = node(rng);
+    if (s == t) continue;
+    const auto bfs = bfs_shortest_path(g, s, t);
+    ASSERT_TRUE(bfs.has_value());
+    const auto yen = yen_k_shortest_paths(g, s, t, 5);
+    ASSERT_FALSE(yen.empty());
+    EXPECT_EQ(yen[0].length(), bfs->length());
+    for (std::size_t i = 1; i < yen.size(); ++i) {
+      EXPECT_LE(yen[i - 1].length(), yen[i].length());
+      EXPECT_NE(yen[i - 1].arcs, yen[i].arcs);
+    }
+    const auto disjoint = edge_disjoint_shortest_paths(g, s, t, 4);
+    std::set<EdgeId> used;
+    for (const Path& p : disjoint) {
+      EXPECT_TRUE(p.valid(g));
+      EXPECT_EQ(p.source, s);
+      EXPECT_EQ(p.destination(g), t);
+      for (const ArcId a : p.arcs) {
+        EXPECT_TRUE(used.insert(edge_of(a)).second);
+      }
+    }
+    EXPECT_EQ(disjoint[0].length(), bfs->length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+}  // namespace
+}  // namespace spider::graph

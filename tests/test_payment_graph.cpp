@@ -1,0 +1,81 @@
+#include "fluid/payment_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::fluid {
+namespace {
+
+TEST(PaymentGraph, SetAndGet) {
+  PaymentGraph h(4);
+  h.set_demand(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(h.demand(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(h.demand(1, 0), 0.0);
+  h.set_demand(0, 1, 0.0);  // erases
+  EXPECT_DOUBLE_EQ(h.demand(0, 1), 0.0);
+  EXPECT_EQ(h.demand_count(), 0u);
+}
+
+TEST(PaymentGraph, AddAccumulates) {
+  PaymentGraph h(3);
+  h.add_demand(0, 2, 1.0);
+  h.add_demand(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(h.demand(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(h.total_demand(), 1.5);
+}
+
+TEST(PaymentGraph, RejectsBadInput) {
+  PaymentGraph h(3);
+  EXPECT_THROW(h.add_demand(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(h.add_demand(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(h.add_demand(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(h.set_demand(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW((void)h.demand(5, 0), std::out_of_range);
+  EXPECT_THROW((void)h.node_imbalance(5), std::out_of_range);
+}
+
+TEST(PaymentGraph, DemandsSortedAndComplete) {
+  PaymentGraph h(4);
+  h.set_demand(2, 1, 3.0);
+  h.set_demand(0, 3, 1.0);
+  h.set_demand(0, 1, 2.0);
+  const auto ds = h.demands();
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds[0], (Demand{0, 1, 2.0}));
+  EXPECT_EQ(ds[1], (Demand{0, 3, 1.0}));
+  EXPECT_EQ(ds[2], (Demand{2, 1, 3.0}));
+}
+
+TEST(PaymentGraph, NodeImbalance) {
+  PaymentGraph h(3);
+  h.set_demand(0, 1, 2.0);
+  h.set_demand(1, 0, 0.5);
+  EXPECT_DOUBLE_EQ(h.node_imbalance(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.node_imbalance(1), -1.5);
+  EXPECT_DOUBLE_EQ(h.node_imbalance(2), 0.0);
+  EXPECT_FALSE(h.is_circulation());
+}
+
+TEST(PaymentGraph, CirculationPredicate) {
+  PaymentGraph h(3);
+  h.set_demand(0, 1, 1.0);
+  h.set_demand(1, 2, 1.0);
+  h.set_demand(2, 0, 1.0);
+  EXPECT_TRUE(h.is_circulation());
+}
+
+TEST(PaymentGraph, Fig4AnchorsFromPaper) {
+  const PaymentGraph h = fig4_payment_graph();
+  EXPECT_EQ(h.node_count(), 5u);
+  // §5.1: node 1 sends rate 1 to nodes 2 and 5; node 2 sends 2 to node 4.
+  EXPECT_DOUBLE_EQ(h.demand(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.demand(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(h.demand(1, 3), 2.0);
+  // Total demand 12 (8/12 = 75% routable per §5.2.2).
+  EXPECT_DOUBLE_EQ(h.total_demand(), 12.0);
+  // Node 5 (id 4) receives 4 units and sends nothing: pure DAG sink.
+  EXPECT_DOUBLE_EQ(h.node_imbalance(4), -4.0);
+  EXPECT_FALSE(h.is_circulation());
+}
+
+}  // namespace
+}  // namespace spider::fluid

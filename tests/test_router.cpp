@@ -1,0 +1,60 @@
+#include "core/router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::core {
+namespace {
+
+QueuedUnit unit(PaymentId pid, Amount amount, TimePoint enq,
+                TimePoint deadline = kNever) {
+  QueuedUnit u;
+  u.unit = TxUnitId{pid, 0};
+  u.amount = amount;
+  u.remaining_payment = amount;
+  u.enqueued = enq;
+  u.deadline = deadline;
+  return u;
+}
+
+TEST(Router, QueuesCreatedOnDemandPerArc) {
+  Router r(3, SchedulingPolicy::kFifo);
+  EXPECT_EQ(r.id(), 3u);
+  EXPECT_EQ(r.policy(), SchedulingPolicy::kFifo);
+  EXPECT_EQ(r.find_queue(4), nullptr);
+  r.queue(4).push(unit(1, 100, 1.0));
+  ASSERT_NE(r.find_queue(4), nullptr);
+  EXPECT_EQ(r.find_queue(4)->size(), 1u);
+  // The queue inherits the router's policy.
+  EXPECT_EQ(r.queue(4).policy(), SchedulingPolicy::kFifo);
+}
+
+TEST(Router, AggregatesAcrossArcs) {
+  Router r(0, SchedulingPolicy::kSrpt);
+  r.queue(0).push(unit(1, 100, 1.0));
+  r.queue(0).push(unit(2, 50, 2.0));
+  r.queue(2).push(unit(3, 25, 3.0));
+  EXPECT_EQ(r.queued_units(), 3u);
+  EXPECT_EQ(r.queued_amount(), 175);
+}
+
+TEST(Router, DropExpiredSpansAllQueues) {
+  Router r(0, SchedulingPolicy::kFifo);
+  r.queue(0).push(unit(1, 10, 1.0, /*deadline=*/5.0));
+  r.queue(2).push(unit(2, 20, 1.0, /*deadline=*/3.0));
+  r.queue(2).push(unit(3, 30, 1.0, /*deadline=*/50.0));
+  const auto expired = r.drop_expired(10.0);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(r.queued_units(), 1u);
+  EXPECT_EQ(r.queued_amount(), 30);
+}
+
+TEST(Router, SrptRouterServicesSmallestFirst) {
+  Router r(0, SchedulingPolicy::kSrpt);
+  r.queue(0).push(unit(1, 100, 1.0));
+  r.queue(0).push(unit(2, 10, 2.0));
+  EXPECT_EQ(r.queue(0).pop()->unit.payment, 2u);
+  EXPECT_EQ(r.queue(0).pop()->unit.payment, 1u);
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,132 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spider::core {
+namespace {
+
+QueuedUnit make_unit(PaymentId pid, std::uint32_t seq, Amount amount,
+                     Amount remaining, TimePoint enq, TimePoint deadline) {
+  QueuedUnit u;
+  u.unit = TxUnitId{pid, seq};
+  u.amount = amount;
+  u.remaining_payment = remaining;
+  u.enqueued = enq;
+  u.deadline = deadline;
+  return u;
+}
+
+TEST(UnitQueue, FifoOrder) {
+  UnitQueue q(SchedulingPolicy::kFifo);
+  q.push(make_unit(1, 0, 10, 100, 2.0, kNever));
+  q.push(make_unit(2, 0, 10, 5, 1.0, kNever));
+  q.push(make_unit(3, 0, 10, 50, 3.0, kNever));
+  EXPECT_EQ(q.pop()->unit.payment, 2u);
+  EXPECT_EQ(q.pop()->unit.payment, 1u);
+  EXPECT_EQ(q.pop()->unit.payment, 3u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(UnitQueue, LifoOrder) {
+  UnitQueue q(SchedulingPolicy::kLifo);
+  q.push(make_unit(1, 0, 10, 100, 1.0, kNever));
+  q.push(make_unit(2, 0, 10, 100, 2.0, kNever));
+  EXPECT_EQ(q.pop()->unit.payment, 2u);
+  EXPECT_EQ(q.pop()->unit.payment, 1u);
+}
+
+TEST(UnitQueue, SrptOrdersBySmallestRemaining) {
+  UnitQueue q(SchedulingPolicy::kSrpt);
+  q.push(make_unit(1, 0, 10, 500, 1.0, kNever));
+  q.push(make_unit(2, 0, 10, 5, 2.0, kNever));
+  q.push(make_unit(3, 0, 10, 50, 3.0, kNever));
+  EXPECT_EQ(q.pop()->unit.payment, 2u);
+  EXPECT_EQ(q.pop()->unit.payment, 3u);
+  EXPECT_EQ(q.pop()->unit.payment, 1u);
+}
+
+TEST(UnitQueue, EdfOrdersByDeadline) {
+  UnitQueue q(SchedulingPolicy::kEdf);
+  q.push(make_unit(1, 0, 10, 1, 1.0, 30.0));
+  q.push(make_unit(2, 0, 10, 1, 2.0, 10.0));
+  q.push(make_unit(3, 0, 10, 1, 3.0, 20.0));
+  EXPECT_EQ(q.pop()->unit.payment, 2u);
+  EXPECT_EQ(q.pop()->unit.payment, 3u);
+  EXPECT_EQ(q.pop()->unit.payment, 1u);
+}
+
+TEST(UnitQueue, DeterministicTieBreakByUnitId) {
+  UnitQueue q(SchedulingPolicy::kSrpt);
+  q.push(make_unit(7, 1, 10, 100, 1.0, kNever));
+  q.push(make_unit(7, 0, 10, 100, 1.0, kNever));
+  q.push(make_unit(5, 0, 10, 100, 1.0, kNever));
+  EXPECT_EQ(q.pop()->unit, (TxUnitId{5, 0}));
+  EXPECT_EQ(q.pop()->unit, (TxUnitId{7, 0}));
+  EXPECT_EQ(q.pop()->unit, (TxUnitId{7, 1}));
+}
+
+TEST(UnitQueue, PeekDoesNotRemove) {
+  UnitQueue q(SchedulingPolicy::kFifo);
+  EXPECT_EQ(q.peek(), nullptr);
+  q.push(make_unit(1, 0, 10, 1, 1.0, kNever));
+  ASSERT_NE(q.peek(), nullptr);
+  EXPECT_EQ(q.peek()->unit.payment, 1u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(UnitQueue, EraseSpecificUnit) {
+  UnitQueue q(SchedulingPolicy::kFifo);
+  q.push(make_unit(1, 0, 10, 1, 1.0, kNever));
+  q.push(make_unit(1, 1, 10, 1, 2.0, kNever));
+  EXPECT_TRUE(q.erase(TxUnitId{1, 0}));
+  EXPECT_FALSE(q.erase(TxUnitId{1, 0}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->unit.seq, 1u);
+}
+
+TEST(UnitQueue, UpdateRemainingReorders) {
+  UnitQueue q(SchedulingPolicy::kSrpt);
+  q.push(make_unit(1, 0, 10, 100, 1.0, kNever));
+  q.push(make_unit(2, 0, 10, 50, 1.0, kNever));
+  q.update_remaining(1, 5);  // payment 1 nearly done now
+  EXPECT_EQ(q.pop()->unit.payment, 1u);
+}
+
+TEST(UnitQueue, DropExpired) {
+  UnitQueue q(SchedulingPolicy::kFifo);
+  q.push(make_unit(1, 0, 10, 1, 1.0, 5.0));
+  q.push(make_unit(2, 0, 10, 1, 1.0, 15.0));
+  q.push(make_unit(3, 0, 10, 1, 1.0, 2.0));
+  const auto expired = q.drop_expired(10.0);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->unit.payment, 2u);
+}
+
+TEST(UnitQueue, TotalAmount) {
+  UnitQueue q(SchedulingPolicy::kFifo);
+  EXPECT_EQ(q.total_amount(), 0);
+  q.push(make_unit(1, 0, 10, 1, 1.0, kNever));
+  q.push(make_unit(2, 0, 25, 1, 1.0, kNever));
+  EXPECT_EQ(q.total_amount(), 35);
+}
+
+class PolicyNameTest
+    : public ::testing::TestWithParam<std::pair<SchedulingPolicy,
+                                                std::string>> {};
+
+TEST_P(PolicyNameTest, ToString) {
+  EXPECT_EQ(to_string(GetParam().first), GetParam().second);
+  UnitQueue q(GetParam().first);
+  EXPECT_EQ(q.policy(), GetParam().first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyNameTest,
+    ::testing::Values(std::pair{SchedulingPolicy::kFifo, std::string("fifo")},
+                      std::pair{SchedulingPolicy::kLifo, std::string("lifo")},
+                      std::pair{SchedulingPolicy::kSrpt, std::string("srpt")},
+                      std::pair{SchedulingPolicy::kEdf, std::string("edf")}));
+
+}  // namespace
+}  // namespace spider::core

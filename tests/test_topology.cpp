@@ -1,0 +1,127 @@
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace spider::graph::topology {
+namespace {
+
+TEST(Topology, Line) {
+  const Graph g = make_line(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Topology, Ring) {
+  const Graph g = make_ring(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW((void)make_ring(2), std::invalid_argument);
+}
+
+TEST(Topology, Star) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Topology, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 4u * 2);  // 17
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Topology, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Topology, Fig4Example) {
+  const Graph g = make_fig4_example();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_TRUE(is_connected(g));
+  // Node 5 (paper numbering) hangs off node 3 only.
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_TRUE(g.has_edge(2, 4));
+}
+
+TEST(Topology, Isp32MatchesPaperCounts) {
+  const Graph g = make_isp32();
+  EXPECT_EQ(g.node_count(), 32u);   // paper §6.1: 32 nodes
+  EXPECT_EQ(g.edge_count(), 152u);  // paper §6.1: 152 edges
+  EXPECT_TRUE(is_connected(g));
+  // Two-tier structure: cores are denser than edge routers.
+  std::size_t min_core = 1000, max_edge = 0;
+  for (NodeId v = 0; v < 8; ++v) min_core = std::min(min_core, g.degree(v));
+  for (NodeId v = 8; v < 32; ++v) max_edge = std::max(max_edge, g.degree(v));
+  EXPECT_GT(min_core, 8u);
+}
+
+TEST(Topology, ErdosRenyiConnectedAndDeterministic) {
+  const Graph a = make_erdos_renyi(20, 0.3, 42);
+  const Graph b = make_erdos_renyi(20, 0.3, 42);
+  EXPECT_TRUE(is_connected(a));
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge_u(e), b.edge_u(e));
+    EXPECT_EQ(a.edge_v(e), b.edge_v(e));
+  }
+  const Graph c = make_erdos_renyi(20, 0.3, 43);
+  // Different seed should (overwhelmingly) differ.
+  bool differs = c.edge_count() != a.edge_count();
+  if (!differs) {
+    for (EdgeId e = 0; e < a.edge_count(); ++e) {
+      if (a.edge_u(e) != c.edge_u(e) || a.edge_v(e) != c.edge_v(e)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Topology, ScaleFreeShape) {
+  const Graph g = make_scale_free(300, 3, 7);
+  EXPECT_EQ(g.node_count(), 300u);
+  EXPECT_TRUE(is_connected(g));
+  // m edges per new node after the seed clique.
+  EXPECT_EQ(g.edge_count(), 6u + (300u - 4u) * 3u);
+  // Heavy tail: the max degree should far exceed the minimum (m).
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < 300; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_GE(max_deg, 20u);
+}
+
+TEST(Topology, SmallWorldConnectedUsually) {
+  const Graph g = make_small_world(40, 2, 0.1, 3);
+  EXPECT_EQ(g.node_count(), 40u);
+  EXPECT_GE(g.edge_count(), 70u);  // ~n*k, a few rewires may collide
+}
+
+TEST(Topology, RippleAndLightningLike) {
+  const Graph r = make_ripple_like(200, 5);
+  EXPECT_TRUE(is_connected(r));
+  const Graph l = make_lightning_like(200, 5);
+  EXPECT_TRUE(is_connected(l));
+  // Lightning hubs: first nodes have large degree.
+  std::size_t hub_deg = 0;
+  for (NodeId v = 0; v < 5; ++v) hub_deg = std::max(hub_deg, l.degree(v));
+  EXPECT_GE(hub_deg, 15u);
+}
+
+TEST(Topology, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)make_line(0), std::invalid_argument);
+  EXPECT_THROW((void)make_scale_free(3, 3, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_erdos_renyi(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_small_world(10, 5, 0.1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spider::graph::topology

@@ -1,0 +1,117 @@
+#include "routing/waterfilling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace spider::routing {
+namespace {
+
+TEST(Waterfill, SinglePath) {
+  const auto a = waterfill(std::vector<double>{10.0}, 4.0);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0], 4.0);
+}
+
+TEST(Waterfill, PrefersHighestCapacity) {
+  // Caps 10 and 4: pouring 6 should take it all from the first path
+  // (its residual 4 still >= the second path's 4).
+  const auto a = waterfill(std::vector<double>{10.0, 4.0}, 6.0);
+  EXPECT_DOUBLE_EQ(a[0], 6.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+}
+
+TEST(Waterfill, LevelsAcrossPaths) {
+  // Caps 10 and 4, amount 8: level at 3 => allocations 7 and 1.
+  const auto a = waterfill(std::vector<double>{10.0, 4.0}, 8.0);
+  EXPECT_DOUBLE_EQ(a[0], 7.0);
+  EXPECT_DOUBLE_EQ(a[1], 1.0);
+  EXPECT_DOUBLE_EQ(a[0] + a[1], 8.0);
+  // Residuals equalized.
+  EXPECT_DOUBLE_EQ(10.0 - a[0], 4.0 - a[1]);
+}
+
+TEST(Waterfill, ExceedingTotalSaturatesEverything) {
+  const auto a = waterfill(std::vector<double>{3.0, 5.0}, 100.0);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 5.0);
+}
+
+TEST(Waterfill, ZeroAmountOrEmpty) {
+  EXPECT_TRUE(waterfill({}, 5.0).empty());
+  const auto a = waterfill(std::vector<double>{3.0}, 0.0);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+}
+
+TEST(Waterfill, NegativeCapacityTreatedAsZero) {
+  const auto a = waterfill(std::vector<double>{-2.0, 4.0}, 3.0);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 3.0);
+}
+
+TEST(Waterfill, LevelDiagnostic) {
+  EXPECT_DOUBLE_EQ(waterfill_level(std::vector<double>{10.0, 4.0}, 8.0), 3.0);
+  EXPECT_DOUBLE_EQ(waterfill_level(std::vector<double>{10.0, 4.0}, 0.0),
+                   10.0);
+  EXPECT_DOUBLE_EQ(waterfill_level(std::vector<double>{5.0}, 100.0), 0.0);
+}
+
+TEST(Waterfill, MatchesPaperDescription) {
+  // §5.3.1: pour onto the highest path until level equals the second,
+  // then onto both until they reach the third, and so on.
+  const std::vector<double> caps{9.0, 6.0, 3.0};
+  // Pour 3: all onto path 0 (level 6 == cap of path 1).
+  auto a = waterfill(caps, 3.0);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+  // Pour 9: 3 brings 0 level with 1, then 6 split equally => (6, 3, 0).
+  a = waterfill(caps, 9.0);
+  EXPECT_DOUBLE_EQ(a[0], 6.0);
+  EXPECT_DOUBLE_EQ(a[1], 3.0);
+  EXPECT_DOUBLE_EQ(a[2], 0.0);
+}
+
+class WaterfillPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WaterfillPropertyTest, ConservationAndLevelling) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> cap(0.0, 20.0);
+  std::uniform_real_distribution<double> amt(0.0, 60.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> caps(1 + rng() % 6);
+    for (double& c : caps) c = cap(rng);
+    const double amount = amt(rng);
+    const auto a = waterfill(caps, amount);
+    const double total_cap =
+        std::accumulate(caps.begin(), caps.end(), 0.0);
+    const double total = std::accumulate(a.begin(), a.end(), 0.0);
+    EXPECT_NEAR(total, std::min(amount, total_cap), 1e-9);
+    double min_residual_allocated = 1e18;
+    double level = -1;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      EXPECT_GE(a[i], -1e-12);
+      EXPECT_LE(a[i], caps[i] + 1e-9);
+      if (a[i] > 1e-9) {
+        min_residual_allocated =
+            std::min(min_residual_allocated, caps[i] - a[i]);
+        if (level < 0) level = caps[i] - a[i];
+        EXPECT_NEAR(caps[i] - a[i], level, 1e-9)
+            << "allocated paths not level";
+      }
+    }
+    // Unallocated paths sit below the water level.
+    if (level >= 0 && total < total_cap - 1e-9) {
+      for (std::size_t i = 0; i < caps.size(); ++i) {
+        if (a[i] <= 1e-9) EXPECT_LE(caps[i], level + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterfillPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace spider::routing
