@@ -9,33 +9,44 @@
 // Absolute numbers differ from the paper (different simulator substrate);
 // the *ordering* and rough gaps are the reproduction target (see
 // EXPERIMENTS.md).
+//
+// The (scheme x topology) grid runs on exp::Runner: every trial is an
+// independent simulation, so `--threads N` fans them out across cores
+// with bit-identical per-trial metrics for every N.
 
-#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "fluid/circulation.hpp"
-#include "graph/topology.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
 using namespace spider;
 
-void run_topology(const char* label, const graph::Graph& g,
-                  const workload::Trace& trace, double capacity_units,
-                  double end_time) {
+/// Serial preamble: topology/trace statistics and the circulation share
+/// of demand, which bounds Spider (LP)'s volume (§6.2: 52% ISP / 22%
+/// Ripple in the paper's traces).
+void print_topology_header(const char* label, const exp::TrialSpec& proto) {
+  const graph::Graph g = exp::make_named_topology(proto.topology);
+  const workload::WorkloadConfig wc =
+      proto.workload == "ripple"
+          ? workload::ripple_workload(proto.txns, proto.end_time,
+                                      proto.workload_seed)
+          : workload::isp_workload(proto.txns, proto.end_time,
+                                   proto.workload_seed);
+  const workload::Trace trace = workload::generate_trace(g, wc);
   const fluid::PaymentGraph demand =
-      workload::estimate_demand(g.node_count(), trace, end_time);
+      workload::estimate_demand(g.node_count(), trace, proto.end_time);
   const auto stats = workload::trace_stats(trace);
   std::printf("\n--- %s: %zu nodes, %zu edges, %zu txns (mean %.0f, max %.0f"
               " units), capacity %.0f/link ---\n",
               label, g.node_count(), g.edge_count(), stats.count,
-              stats.mean_size, stats.max_size, capacity_units);
+              stats.mean_size, stats.max_size, proto.capacity_units);
 
-  // The share of demand that is a circulation bounds Spider (LP)'s
-  // volume (§6.2: 52% ISP / 22% Ripple in the paper's traces). The exact
-  // max-circulation LP is dense (O(pairs^2) tableau memory), so huge
-  // traces fall back to the greedy peel, a fast lower bound.
+  // The exact max-circulation LP is dense (O(pairs^2) tableau memory),
+  // so huge traces fall back to the greedy peel, a fast lower bound.
   if (demand.demand_count() <= 4000) {
     const auto dec = fluid::max_circulation(demand);
     std::printf("circulation share of demand: %.0f%%\n",
@@ -45,55 +56,83 @@ void run_topology(const char* label, const graph::Graph& g,
     std::printf("circulation share of demand: >= %.0f%% (greedy bound)\n",
                 100.0 * dec.circulation_value / demand.total_demand());
   }
+}
 
-  std::printf("%-22s %13s %14s %10s %9s\n", "scheme", "success_ratio",
-              "success_volume", "succeeded", "attempts");
-  bench::FlowRunConfig rc;
-  rc.capacity_units = capacity_units;
-  rc.end_time = end_time;
-  for (const std::string& name : schemes::all_scheme_names()) {
-    const sim::Metrics m =
-        bench::run_flow_scheme(name, g, trace, demand, rc);
-    std::printf("%-22s %13.3f %14.3f %10llu %9llu\n", name.c_str(),
-                m.success_ratio(), m.success_volume(),
+void print_results(const std::vector<exp::TrialResult>& results) {
+  std::printf("%-22s %13s %14s %10s %9s %9s\n", "scheme", "success_ratio",
+              "success_volume", "succeeded", "attempts", "p95_lat_s");
+  for (const exp::TrialResult& r : results) {
+    const sim::Metrics& m = r.metrics;
+    std::printf("%-22s %13.3f %14.3f %10llu %9llu %9.2f\n",
+                r.spec.scheme.c_str(), m.success_ratio(), m.success_volume(),
                 static_cast<unsigned long long>(m.succeeded),
-                static_cast<unsigned long long>(m.total_attempt_rounds));
+                static_cast<unsigned long long>(m.total_attempt_rounds),
+                m.latency_p95());
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("bench_fig6_comparison",
                       "Fig. 6 (scheme comparison, ISP + Ripple, §6.2)");
   const bool full = bench::full_scale();
 
   // ISP topology: 32 nodes / 152 edges (paper numbers), 200 s horizon.
-  {
-    const graph::Graph g = graph::topology::make_isp32();
-    const std::size_t txns = full ? 200000 : 20000;
-    const double cap = full ? 30000.0 : 3000.0;
-    const workload::Trace trace =
-        workload::generate_trace(g, workload::isp_workload(txns, 200.0, 21));
-    run_topology("ISP topology", g, trace, cap, 200.0);
-  }
+  exp::TrialSpec isp;
+  isp.topology = "isp32";
+  isp.workload = "isp";
+  isp.workload_seed = 21;  // pinned: reproduces the published table
+  isp.txns = full ? 200000 : 20000;
+  isp.capacity_units = full ? 30000.0 : 3000.0;
+  isp.end_time = 200.0;
 
   // Ripple-like topology, 85 s horizon.
-  {
-    const std::size_t nodes = full ? 3774 : 400;
-    const std::size_t txns = full ? 75000 : 7500;
-    const double cap = full ? 30000.0 : 3000.0;
-    const graph::Graph g = graph::topology::make_ripple_like(nodes, 13);
-    const workload::Trace trace = workload::generate_trace(
-        g, workload::ripple_workload(txns, 85.0, 22));
-    run_topology("Ripple topology", g, trace, cap, 85.0);
+  exp::TrialSpec ripple;
+  ripple.topology = full ? "ripple-3774" : "ripple-400";
+  ripple.workload = "ripple";
+  ripple.workload_seed = 22;
+  ripple.txns = full ? 75000 : 7500;
+  ripple.capacity_units = full ? 30000.0 : 3000.0;
+  ripple.end_time = 85.0;
+
+  std::vector<exp::TrialSpec> trials;
+  for (const exp::TrialSpec& proto : {isp, ripple}) {
+    for (const std::string& name : schemes::all_scheme_names()) {
+      exp::TrialSpec t = proto;
+      t.scheme = name;
+      trials.push_back(std::move(t));
+    }
   }
 
+  const exp::Runner runner(args.threads);
+  std::printf("running %zu trials on %zu threads\n", trials.size(),
+              runner.threads());
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<exp::TrialResult> results =
+      exp::run_trials(trials, runner);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::size_t per_topo = schemes::all_scheme_names().size();
+  print_topology_header("ISP topology", isp);
+  print_results({results.begin(),
+                 results.begin() + static_cast<std::ptrdiff_t>(per_topo)});
+  print_topology_header("Ripple topology", ripple);
+  print_results({results.begin() + static_cast<std::ptrdiff_t>(per_topo),
+                 results.end()});
+
+  std::printf("\nsweep wall time: %.1f s (%zu threads)\n", wall,
+              runner.threads());
   std::printf(
       "\npaper's headline claims to check against the rows above:\n"
       "  * packet-switched shortest-path+SRPT ~10%% over SM/SW ratio;\n"
       "  * Spider (Waterfilling) within ~5%% of max-flow with 4 paths;\n"
       "  * Spider beats SM/SW by 10-75%% payments / 10-45%% volume;\n"
       "  * Spider (LP) volume tracks the circulation share.\n");
+  bench::write_bench_reports(args, "fig6_comparison", results,
+                             runner.threads());
   return 0;
 }

@@ -8,9 +8,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "schemes/schemes.hpp"
 #include "sim/flow_sim.hpp"
 #include "workload/workload.hpp"
@@ -20,6 +23,54 @@ namespace spider::bench {
 inline bool full_scale() {
   const char* v = std::getenv("SPIDER_FULL");
   return v != nullptr && v[0] == '1';
+}
+
+/// Shared flags of the runner-based harnesses:
+///   --threads N   worker threads for the trial sweep (0 = all cores);
+///   --json PATH   write the sweep report as JSON;
+///   --csv PATH    write the sweep report as CSV.
+/// Results are bit-identical for every thread count.
+struct BenchArgs {
+  std::size_t threads = 0;
+  std::string json_out;
+  std::string csv_out;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const auto has_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (has_value("--threads")) {
+      args.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (has_value("--json")) {
+      args.json_out = argv[++i];
+    } else if (has_value("--csv")) {
+      args.csv_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH] [--csv PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Writes the optional JSON/CSV reports of a finished sweep.
+inline void write_bench_reports(const BenchArgs& args, const char* name,
+                                const std::vector<exp::TrialResult>& results,
+                                std::size_t threads) {
+  if (!args.json_out.empty()) {
+    exp::write_file(args.json_out,
+                    exp::sweep_report_json(name, results, threads).dump(2));
+    std::printf("\nwrote JSON report: %s\n", args.json_out.c_str());
+  }
+  if (!args.csv_out.empty()) {
+    exp::write_file(args.csv_out, exp::sweep_report_csv(results));
+    std::printf("wrote CSV report: %s\n", args.csv_out.c_str());
+  }
 }
 
 struct FlowRunConfig {

@@ -1,0 +1,146 @@
+#pragma once
+// Fixed-bucket logarithmic histogram for latency percentiles (p50/p95/
+// p99) in sweep telemetry. Geometric buckets bound the relative error of
+// any quantile by the bucket growth factor while keeping the memory
+// footprint constant, and -- unlike a sampling reservoir -- the result
+// is a pure function of the inserted multiset, so sweeps stay
+// bit-identical regardless of thread count or trial execution order.
+//
+// Header-only and dependency-free on purpose: sim::Metrics embeds one,
+// and src/sim must not link against the experiment library.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace spider::exp {
+
+class Histogram {
+ public:
+  /// Default range covers payment latencies: 1 ms .. 10000 s at 16
+  /// buckets per decade (relative quantile error <= 10^(1/16) ~ 15%).
+  Histogram() : Histogram(1e-3, 1e4, 16) {}
+
+  /// Buckets span [min_value, max_value) geometrically with
+  /// `buckets_per_decade` buckets per factor of 10, plus an underflow
+  /// bucket (v <= min_value, including zero) and an overflow bucket.
+  Histogram(double min_value, double max_value, int buckets_per_decade)
+      : min_(min_value),
+        max_(max_value),
+        per_decade_(buckets_per_decade),
+        counts_(bucket_count(min_value, max_value, buckets_per_decade), 0) {}
+
+  void add(double v) {
+    counts_[index_of(v)] += 1;
+    ++count_;
+    sum_ += v;
+  }
+
+  /// Adds another histogram with identical bucketing (used to aggregate
+  /// per-trial histograms into a sweep-level one).
+  void merge(const Histogram& other) {
+    if (other.counts_.size() != counts_.size() || other.min_ != min_ ||
+        other.per_decade_ != per_decade_) {
+      return;  // incompatible bucketing; nothing sensible to do
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1]: the representative value (geometric
+  /// bucket midpoint) of the bucket holding the ceil(q * count)-th
+  /// smallest sample. Returns 0 on an empty histogram.
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target_d = q * static_cast<double>(count_);
+    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(target_d));
+    if (target == 0) target = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += counts_[i];
+      if (cum >= target) return representative(i);
+    }
+    return max_;  // unreachable with count_ > 0
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  /// Worst-case relative error of quantile(): one bucket's growth.
+  [[nodiscard]] double relative_error() const {
+    return std::pow(10.0, 1.0 / static_cast<double>(per_decade_)) - 1.0;
+  }
+
+  // Serialization access (exp::report).
+  [[nodiscard]] double min_value() const { return min_; }
+  [[nodiscard]] double max_value() const { return max_; }
+  [[nodiscard]] int buckets_per_decade() const { return per_decade_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  /// Restores raw state from a deserialized snapshot; `counts` must have
+  /// the size this histogram's bucketing implies.
+  void restore(std::vector<std::uint64_t> counts, std::uint64_t count,
+               double sum) {
+    if (counts.size() != counts_.size()) return;
+    counts_ = std::move(counts);
+    count_ = count;
+    sum_ = sum;
+  }
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  static std::size_t bucket_count(double min_value, double max_value,
+                                  int per_decade) {
+    const double decades = std::log10(max_value / min_value);
+    return static_cast<std::size_t>(
+               std::ceil(decades * static_cast<double>(per_decade))) +
+           2;  // + underflow + overflow
+  }
+
+  [[nodiscard]] std::size_t index_of(double v) const {
+    if (!(v > min_)) return 0;  // underflow (and NaN)
+    if (v >= max_) return counts_.size() - 1;
+    const double pos =
+        std::log10(v / min_) * static_cast<double>(per_decade_);
+    auto i = static_cast<std::size_t>(pos) + 1;
+    if (i > counts_.size() - 2) i = counts_.size() - 2;
+    return i;
+  }
+
+  /// Geometric midpoint of bucket i's edges; range ends map to the ends.
+  [[nodiscard]] double representative(std::size_t i) const {
+    if (i == 0) return min_;
+    if (i == counts_.size() - 1) return max_;
+    const double lo =
+        min_ * std::pow(10.0, static_cast<double>(i - 1) /
+                                  static_cast<double>(per_decade_));
+    const double hi =
+        min_ *
+        std::pow(10.0, static_cast<double>(i) /
+                           static_cast<double>(per_decade_));
+    return std::sqrt(lo * hi);
+  }
+
+  double min_;
+  double max_;
+  int per_decade_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace spider::exp

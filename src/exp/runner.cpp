@@ -1,0 +1,56 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace spider::exp {
+
+std::uint64_t derive_seed(std::uint64_t base_seed,
+                          std::uint64_t trial_index) {
+  // splitmix64: advance the state by the golden-gamma-scaled index, then
+  // finalize. Never returns 0 twice for distinct inputs in practice.
+  std::uint64_t z = base_seed + (trial_index + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Runner::Runner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+void Runner::for_each(std::size_t count,
+                      const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers = threads_ < count ? threads_ : count;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace spider::exp

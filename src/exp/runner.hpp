@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic parallel experiment runner. A sweep is a list of
+// independent trials (scheme x topology x seed); the runner fans them
+// out across a fixed-size thread pool. Every trial derives its own RNG
+// seed from (base_seed, index) via derive_seed(), each worker writes
+// only its own result slot, and results come back in trial-index order
+// -- so a sweep's output is bit-identical whether it ran on 1 thread or
+// 16, in any execution order.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace spider::exp {
+
+/// Mixes a base seed and a trial index into an independent 64-bit seed
+/// (splitmix64 finalizer). Pure function: the same (base, index) always
+/// yields the same seed, and distinct indices yield well-separated
+/// streams.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        std::uint64_t trial_index);
+
+class Runner {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency().
+  explicit Runner(std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Calls fn(i) exactly once for every i in [0, count), distributing
+  /// calls over the pool. Blocks until all calls finish. If any call
+  /// throws, the first exception is rethrown here after the pool drains.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& fn) const;
+
+  /// Parallel map: returns {fn(0), fn(1), ..., fn(count-1)} in index
+  /// order regardless of which thread ran which index.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn) const {
+    using T = decltype(fn(std::size_t{0}));
+    std::vector<std::optional<T>> slots(count);
+    for_each(count, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(count);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace spider::exp

@@ -1,0 +1,191 @@
+#include "exp/sweep.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+
+#include "graph/topology.hpp"
+#include "schemes/schemes.hpp"
+#include "sim/flow_sim.hpp"
+#include "workload/workload.hpp"
+
+namespace spider::exp {
+
+namespace {
+
+/// Parses the numeric suffix of "family-N" topology names.
+std::size_t parse_count(const std::string& name, std::size_t dash) {
+  const std::string tail = name.substr(dash + 1);
+  if (tail.empty()) {
+    throw std::invalid_argument("make_named_topology: missing size in " + name);
+  }
+  return static_cast<std::size_t>(std::stoull(tail));
+}
+
+}  // namespace
+
+graph::Graph make_named_topology(const std::string& name) {
+  namespace topo = graph::topology;
+  if (name == "isp32") return topo::make_isp32();
+  const std::size_t dash = name.rfind('-');
+  if (dash != std::string::npos) {
+    const std::string family = name.substr(0, dash);
+    const std::size_t n = parse_count(name, dash);
+    if (family == "ripple") return topo::make_ripple_like(n, 13);
+    if (family == "lightning") return topo::make_lightning_like(n, 13);
+    if (family == "scalefree") return topo::make_scale_free(n, 3, 13);
+    if (family == "smallworld") return topo::make_small_world(n, 2, 0.1, 13);
+    if (family == "ring") return topo::make_ring(n);
+    if (family == "line") return topo::make_line(n);
+    if (family == "star") return topo::make_star(n);
+    if (family == "complete") return topo::make_complete(n);
+  }
+  throw std::invalid_argument("make_named_topology: unknown topology " + name);
+}
+
+TrialResult run_trial(const TrialSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const graph::Graph g = make_named_topology(spec.topology);
+  const workload::WorkloadConfig wc =
+      spec.workload == "ripple"
+          ? workload::ripple_workload(spec.txns, spec.end_time,
+                                      spec.workload_seed)
+          : workload::isp_workload(spec.txns, spec.end_time,
+                                   spec.workload_seed);
+  const workload::Trace trace = workload::generate_trace(g, wc);
+  const fluid::PaymentGraph demand =
+      workload::estimate_demand(g.node_count(), trace, spec.end_time);
+
+  const auto scheme = schemes::make_scheme(spec.scheme);
+  sim::FlowSimConfig cfg;
+  cfg.end_time = spec.end_time;
+  cfg.delta = spec.delta;
+  cfg.max_retries_per_poll = spec.max_retries_per_poll;
+  cfg.retry_policy = spec.retry_policy;
+  cfg.collect_series = spec.collect_series;
+  cfg.series_bucket = spec.series_bucket;
+  sim::FlowSimulator fs(
+      g,
+      std::vector<core::Amount>(g.edge_count(),
+                                core::from_units(spec.capacity_units)),
+      *scheme, cfg);
+  for (const workload::Transaction& tx : trace) {
+    core::PaymentRequest req;
+    req.src = tx.src;
+    req.dst = tx.dst;
+    req.amount = tx.amount;
+    req.arrival = tx.arrival;
+    if (spec.deadline_offset > 0) {
+      req.deadline = tx.arrival + spec.deadline_offset;
+    }
+    fs.add_payment(req);
+  }
+
+  TrialResult r;
+  r.spec = spec;
+  r.metrics = fs.run(demand);
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+std::vector<TrialResult> run_trials(const std::vector<TrialSpec>& trials,
+                                    const Runner& runner) {
+  return runner.map(trials.size(), [&trials](std::size_t i) {
+    return run_trial(trials[i]);
+  });
+}
+
+std::vector<TrialSpec> make_trials(const SweepConfig& cfg) {
+  const std::vector<std::string> schemes =
+      cfg.schemes.empty() ? schemes::all_scheme_names() : cfg.schemes;
+  std::vector<TrialSpec> trials;
+  trials.reserve(cfg.topologies.size() * cfg.capacities_units.size() *
+                 cfg.seeds * schemes.size());
+  for (const std::string& topology : cfg.topologies) {
+    for (const double cap : cfg.capacities_units) {
+      for (std::size_t s = 0; s < cfg.seeds; ++s) {
+        for (const std::string& scheme : schemes) {
+          TrialSpec t;
+          t.scheme = scheme;
+          t.topology = topology;
+          t.workload =
+              topology.rfind("ripple", 0) == 0 ? "ripple" : "isp";
+          t.seed_index = s;
+          t.workload_seed = derive_seed(cfg.base_seed, s);
+          t.txns = cfg.txns;
+          t.end_time = cfg.end_time;
+          t.capacity_units = cap;
+          t.delta = cfg.delta;
+          t.max_retries_per_poll = cfg.max_retries_per_poll;
+          t.collect_series = cfg.collect_series;
+          t.series_bucket = cfg.series_bucket;
+          trials.push_back(std::move(t));
+        }
+      }
+    }
+  }
+  return trials;
+}
+
+std::vector<TrialResult> run_sweep(const SweepConfig& cfg,
+                                   const Runner& runner) {
+  return run_trials(make_trials(cfg), runner);
+}
+
+Json sweep_report_json(const std::string& name,
+                       const std::vector<TrialResult>& results,
+                       std::size_t threads) {
+  Json j = Json::object();
+  j.set("sweep", name);
+  j.set("threads", static_cast<std::uint64_t>(threads));
+  j.set("trial_count", static_cast<std::uint64_t>(results.size()));
+  Json trials = Json::array();
+  for (const TrialResult& r : results) {
+    Json t = Json::object();
+    t.set("scheme", r.spec.scheme);
+    t.set("topology", r.spec.topology);
+    t.set("workload", r.spec.workload);
+    t.set("seed_index", static_cast<std::uint64_t>(r.spec.seed_index));
+    t.set("workload_seed", r.spec.workload_seed);
+    t.set("txns", static_cast<std::uint64_t>(r.spec.txns));
+    t.set("end_time", r.spec.end_time);
+    t.set("capacity_units", r.spec.capacity_units);
+    t.set("retry_policy", core::to_string(r.spec.retry_policy));
+    t.set("wall_seconds", r.wall_seconds);
+    t.set("metrics", report::metrics_to_json(r.metrics));
+    trials.push_back(std::move(t));
+  }
+  j.set("trials", std::move(trials));
+  return j;
+}
+
+std::string sweep_report_csv(const std::vector<TrialResult>& results) {
+  std::string out =
+      "scheme,topology,workload,seed_index,workload_seed,txns,end_time,"
+      "capacity_units,retry_policy,wall_seconds," +
+      report::metrics_csv_header() + "\n";
+  for (const TrialResult& r : results) {
+    out += r.spec.scheme + "," + r.spec.topology + "," + r.spec.workload +
+           "," + std::to_string(r.spec.seed_index) + "," +
+           std::to_string(r.spec.workload_seed) + "," +
+           std::to_string(r.spec.txns) + "," +
+           std::to_string(r.spec.end_time) + "," +
+           std::to_string(r.spec.capacity_units) + "," +
+           core::to_string(r.spec.retry_policy) + "," +
+           std::to_string(r.wall_seconds) + "," +
+           report::metrics_csv_row(r.metrics) + "\n";
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_file: cannot open " + path);
+  os << text;
+  if (!os) throw std::runtime_error("write_file: write failed for " + path);
+}
+
+}  // namespace spider::exp

@@ -11,7 +11,8 @@ std::string Metrics::summary() const {
   os << "attempted=" << attempted << " succeeded=" << succeeded
      << " partial=" << partial << " failed=" << failed
      << " success_ratio=" << success_ratio()
-     << " success_volume=" << success_volume();
+     << " success_volume=" << success_volume()
+     << " latency_p50=" << latency_p50() << " latency_p99=" << latency_p99();
   return os.str();
 }
 
@@ -163,6 +164,19 @@ void FlowSimulator::complete(core::PaymentId pid, const core::RouteLock& rl,
   record_series(rl.amount);
   if (st.delivered == st.req.amount) {
     metrics_.sum_completion_latency += events_.now() - st.req.arrival;
+    metrics_.latency_hist.add(events_.now() - st.req.arrival);
+  }
+}
+
+void FlowSimulator::sample_series() {
+  metrics_.queue_depth_series.push_back(
+      static_cast<double>(retry_queue_.size()));
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    metrics_.channel_imbalance_series[e].push_back(
+        core::to_units(net_.channel(e).imbalance()));
+  }
+  if (events_.now() + cfg_.series_bucket <= cfg_.end_time) {
+    events_.schedule_in(cfg_.series_bucket, [this]() { sample_series(); });
   }
 }
 
@@ -232,6 +246,10 @@ Metrics FlowSimulator::run(const fluid::PaymentGraph& demand_estimate) {
     events_.schedule(st.req.arrival, [this, pid]() { attempt(pid); });
   }
   events_.schedule(cfg_.poll_interval, [this]() { poll(); });
+  if (cfg_.collect_series) {
+    metrics_.channel_imbalance_series.assign(graph_.edge_count(), {});
+    events_.schedule(cfg_.series_bucket, [this]() { sample_series(); });
+  }
   if (cfg_.enable_rebalancing) {
     events_.schedule(cfg_.rebalance_interval, [this]() { rebalance_sweep(); });
   }

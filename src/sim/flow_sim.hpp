@@ -41,7 +41,9 @@ struct FlowSimConfig {
   /// Max payments re-attempted per poll (0 = unbounded). Bounds the cost
   /// of very long queues; SRPT order decides who gets the budget.
   std::size_t max_retries_per_poll = 0;
-  /// Collect a delivered-volume time series into the metrics.
+  /// Collect telemetry time series into the metrics: delivered volume
+  /// per bucket, plus per-channel imbalance and retry-queue depth
+  /// sampled every `series_bucket` seconds.
   bool collect_series = false;
   double series_bucket = 5.0;
 
@@ -108,6 +110,7 @@ class FlowSimulator {
   void rebalance_sweep();
   void enqueue_retry(core::PaymentId pid);
   void record_series(core::Amount amount);
+  void sample_series();
 
   const graph::Graph& graph_;
   std::vector<core::Amount> capacity_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "exp/histogram.hpp"
 
 namespace spider::sim {
 
@@ -64,10 +65,29 @@ struct Metrics {
   /// One-line human-readable summary.
   [[nodiscard]] std::string summary() const;
 
+  /// Arrival-to-completion latency distribution of fully-succeeded
+  /// payments (always collected; constant memory).
+  exp::Histogram latency_hist;
+
+  [[nodiscard]] double latency_p50() const { return latency_hist.p50(); }
+  [[nodiscard]] double latency_p95() const { return latency_hist.p95(); }
+  [[nodiscard]] double latency_p99() const { return latency_hist.p99(); }
+
   /// Delivered volume per time bucket (filled when series collection is
   /// enabled in the simulator config).
   std::vector<double> delivered_series;
   double series_bucket = 1.0;
+
+  /// Telemetry sampled every `series_bucket` seconds when series
+  /// collection is enabled. `channel_imbalance_series[e][k]` is channel
+  /// e's signed imbalance (side A minus side B, in currency units) at
+  /// sample k; `queue_depth_series[k]` is the number of payment units
+  /// waiting for funds (flow sim: retry queue; packet sim: router
+  /// queues) at the same instant.
+  std::vector<std::vector<double>> channel_imbalance_series;
+  std::vector<double> queue_depth_series;
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 }  // namespace spider::sim

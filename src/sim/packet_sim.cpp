@@ -231,6 +231,7 @@ void PacketSimulator::settle_unit(core::TxUnitId uid, core::Preimage key) {
   if (transports_[src]->remaining(pid) == 0) {
     metrics_.sum_completion_latency +=
         events_.now() - requests_[pid].arrival;
+    metrics_.latency_hist.add(events_.now() - requests_[pid].arrival);
   }
   const graph::Path path = st.path;  // copy: service may mutate units_
   units_.erase(it);
@@ -285,6 +286,18 @@ void PacketSimulator::sweep_expired() {
   }
 }
 
+void PacketSimulator::sample_series() {
+  metrics_.queue_depth_series.push_back(
+      static_cast<double>(queued_units()));
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    metrics_.channel_imbalance_series[e].push_back(
+        core::to_units(net_.channel(e).imbalance()));
+  }
+  if (events_.now() + cfg_.series_bucket <= cfg_.end_time) {
+    events_.schedule_in(cfg_.series_bucket, [this]() { sample_series(); });
+  }
+}
+
 Metrics PacketSimulator::run() {
   if (ran_) throw std::logic_error("PacketSimulator: run called twice");
   ran_ = true;
@@ -296,6 +309,11 @@ Metrics PacketSimulator::run() {
     events_.schedule(req.arrival, [this, pid]() { arrive(pid); });
   }
   events_.schedule(cfg_.expiry_sweep_interval, [this]() { sweep_expired(); });
+  if (cfg_.collect_series) {
+    metrics_.series_bucket = cfg_.series_bucket;
+    metrics_.channel_imbalance_series.assign(graph_.edge_count(), {});
+    events_.schedule(cfg_.series_bucket, [this]() { sample_series(); });
+  }
   events_.run_until(cfg_.end_time);
 
   for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {

@@ -44,6 +44,12 @@ struct PacketSimConfig {
   TimePoint expiry_sweep_interval = 0.5;
   std::uint64_t seed = 1;
 
+  /// Collect telemetry time series into the metrics: per-channel
+  /// imbalance and router-queue depth sampled every `series_bucket`
+  /// seconds.
+  bool collect_series = false;
+  double series_bucket = 5.0;
+
   /// Host congestion control (§4.1, deferred by the paper's evaluation):
   /// each (src, dst) pair keeps an AIMD window of outstanding transaction
   /// units. Confirmations grow the window by 1/w; a failed or expired
@@ -116,6 +122,7 @@ class PacketSimulator {
   void fail_unit(core::TxUnitId uid);
   void service_arc(graph::ArcId a);
   void sweep_expired();
+  void sample_series();
 
   const graph::Graph& graph_;
   std::vector<core::Amount> capacity_;

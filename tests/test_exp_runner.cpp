@@ -1,0 +1,224 @@
+// Tests for the parallel experiment runner and structured telemetry:
+// (a) N-thread and 1-thread sweeps produce identical metrics,
+// (b) histogram percentiles match a sorted-vector oracle,
+// (c) JSON/CSV round-trip of a Metrics snapshot.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/histogram.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+
+namespace {
+
+using namespace spider;
+
+std::vector<exp::TrialSpec> small_grid() {
+  exp::SweepConfig cfg;
+  cfg.schemes = {"shortest-path", "spider-waterfilling"};
+  cfg.topologies = {"ring-8"};
+  cfg.capacities_units = {150.0};
+  cfg.seeds = 2;
+  cfg.base_seed = 11;
+  cfg.txns = 150;
+  cfg.end_time = 20.0;
+  cfg.collect_series = true;
+  cfg.series_bucket = 5.0;
+  return exp::make_trials(cfg);
+}
+
+TEST(Runner, MapPreservesIndexOrder) {
+  const exp::Runner runner(4);
+  const auto out = runner.map(
+      100, [](std::size_t i) { return static_cast<int>(i) * 3; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(Runner, ForEachRunsEveryIndexExactlyOnce) {
+  const exp::Runner runner(3);
+  std::vector<std::atomic<int>> hits(257);
+  runner.for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, PropagatesExceptions) {
+  const exp::Runner runner(2);
+  EXPECT_THROW(
+      runner.for_each(8,
+                      [](std::size_t i) {
+                        if (i == 5) throw std::runtime_error("trial 5 died");
+                      }),
+      std::runtime_error);
+}
+
+TEST(Runner, DerivedSeedsAreStableAndWellSeparated) {
+  EXPECT_EQ(exp::derive_seed(1, 0), exp::derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(exp::derive_seed(42, i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions over a realistic sweep
+  EXPECT_NE(exp::derive_seed(1, 7), exp::derive_seed(2, 7));
+}
+
+// (a) The tentpole guarantee: a parallel sweep is bit-identical to the
+// serial one. Serialized JSON equality is the strongest practical check
+// -- it covers every scalar, the histogram buckets, and all time series.
+TEST(Runner, ParallelSweepMatchesSerialByteForByte) {
+  const std::vector<exp::TrialSpec> trials = small_grid();
+  ASSERT_EQ(trials.size(), 4u);
+
+  const auto serial = exp::run_trials(trials, exp::Runner(1));
+  const auto parallel = exp::run_trials(trials, exp::Runner(4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(exp::report::metrics_to_json(serial[i].metrics).dump(),
+              exp::report::metrics_to_json(parallel[i].metrics).dump())
+        << "trial " << i << " diverged across thread counts";
+  }
+  // The workload actually did something.
+  for (const auto& r : serial) {
+    EXPECT_GT(r.metrics.attempted, 0u);
+    EXPECT_GT(r.metrics.succeeded, 0u);
+    EXPECT_FALSE(r.metrics.queue_depth_series.empty());
+    EXPECT_EQ(r.metrics.channel_imbalance_series.size(), 8u);
+  }
+}
+
+// Replicas use derived seeds: different traces, hence (generically)
+// different metrics across seed_index.
+TEST(Runner, SeedReplicasDiffer) {
+  const std::vector<exp::TrialSpec> trials = small_grid();
+  EXPECT_NE(trials[0].workload_seed, trials[2].workload_seed);
+  EXPECT_EQ(trials[0].workload_seed, trials[1].workload_seed)
+      << "schemes within a replica must share the trace";
+}
+
+// (b) Histogram percentiles vs. a sorted-vector oracle.
+TEST(Histogram, PercentilesMatchSortedOracle) {
+  exp::Histogram h(1e-3, 1e4, 16);
+  std::mt19937_64 rng(123);
+  std::lognormal_distribution<double> dist(0.5, 1.2);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    h.add(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double tol = h.relative_error() + 1e-9;
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double oracle = samples[rank - 1];
+    const double est = h.quantile(q);
+    EXPECT_NEAR(est, oracle, oracle * tol)
+        << "q=" << q << " oracle=" << oracle << " est=" << est;
+  }
+  EXPECT_EQ(h.count(), 5000u);
+  EXPECT_NEAR(h.mean(),
+              std::accumulate(samples.begin(), samples.end(), 0.0) / 5000.0,
+              1e-9);
+}
+
+TEST(Histogram, EdgeCases) {
+  exp::Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.add(0.0);                       // underflow bucket
+  h.add(1e9);                       // overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.quantile(0.0), h.min_value());
+  EXPECT_EQ(h.quantile(1.0), h.max_value());
+
+  exp::Histogram a(1e-3, 1e4, 16);
+  exp::Histogram b(1e-3, 1e4, 16);
+  a.add(1.0);
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.sum(), 3.0);
+}
+
+// (c) JSON round-trip of a full Metrics snapshot from a real simulation
+// (series collection on, so every field is exercised).
+TEST(Report, MetricsJsonRoundTrip) {
+  const std::vector<exp::TrialSpec> trials = small_grid();
+  const exp::TrialResult r = exp::run_trial(trials[1]);
+  ASSERT_GT(r.metrics.attempted, 0u);
+  ASSERT_GT(r.metrics.latency_hist.count(), 0u);
+
+  const exp::Json j = exp::report::metrics_to_json(r.metrics);
+  const std::string text = j.dump(2);
+  const exp::Json parsed = exp::Json::parse(text);
+  const sim::Metrics restored = exp::report::metrics_from_json(parsed);
+  EXPECT_TRUE(restored == r.metrics);
+  // And the round-trip is a fixed point at the byte level.
+  EXPECT_EQ(exp::report::metrics_to_json(restored).dump(2), text);
+}
+
+TEST(Report, MetricsCsvRoundTrip) {
+  const std::vector<exp::TrialSpec> trials = small_grid();
+  const exp::TrialResult r = exp::run_trial(trials[0]);
+  const std::string row = exp::report::metrics_csv_row(r.metrics);
+  const sim::Metrics restored = exp::report::metrics_from_csv_row(row);
+  EXPECT_EQ(restored.attempted, r.metrics.attempted);
+  EXPECT_EQ(restored.succeeded, r.metrics.succeeded);
+  EXPECT_EQ(restored.partial, r.metrics.partial);
+  EXPECT_EQ(restored.failed, r.metrics.failed);
+  EXPECT_EQ(restored.attempted_volume, r.metrics.attempted_volume);
+  EXPECT_EQ(restored.delivered_volume, r.metrics.delivered_volume);
+  EXPECT_EQ(restored.completed_volume, r.metrics.completed_volume);
+  EXPECT_EQ(restored.total_attempt_rounds, r.metrics.total_attempt_rounds);
+  EXPECT_EQ(restored.units_sent, r.metrics.units_sent);
+  EXPECT_DOUBLE_EQ(restored.sum_completion_latency,
+                   r.metrics.sum_completion_latency);
+  EXPECT_EQ(restored.fees_paid, r.metrics.fees_paid);
+  // Derived columns agree with the originals after reconstruction.
+  EXPECT_DOUBLE_EQ(restored.success_ratio(), r.metrics.success_ratio());
+  EXPECT_DOUBLE_EQ(restored.success_volume(), r.metrics.success_volume());
+}
+
+TEST(Report, JsonParserHandlesNestingAndEscapes) {
+  const exp::Json j = exp::Json::parse(
+      R"({"a": [1, 2.5, -3, true, false, null], "s": "q\"\\\nA", )"
+      R"("nested": {"empty_arr": [], "empty_obj": {}}})");
+  EXPECT_EQ(j.at("a").size(), 6u);
+  EXPECT_EQ(j.at("a").at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(j.at("a").at(1).as_double(), 2.5);
+  EXPECT_EQ(j.at("a").at(2).as_int(), -3);
+  EXPECT_TRUE(j.at("a").at(3).as_bool());
+  EXPECT_TRUE(j.at("a").at(5).is_null());
+  EXPECT_EQ(j.at("s").as_string(), "q\"\\\nA");
+  EXPECT_EQ(j.at("nested").at("empty_arr").size(), 0u);
+  // Round-trip.
+  EXPECT_EQ(exp::Json::parse(j.dump()), j);
+  EXPECT_EQ(exp::Json::parse(j.dump(2)), j);
+  // Malformed input throws.
+  EXPECT_THROW((void)exp::Json::parse("{\"a\": 1,}garbage"),
+               std::runtime_error);
+  EXPECT_THROW((void)exp::Json::parse("[1, 2"), std::runtime_error);
+}
+
+TEST(Sweep, NamedTopologiesResolve) {
+  EXPECT_EQ(exp::make_named_topology("isp32").node_count(), 32u);
+  EXPECT_EQ(exp::make_named_topology("ring-12").node_count(), 12u);
+  EXPECT_EQ(exp::make_named_topology("ripple-100").node_count(), 100u);
+  EXPECT_THROW((void)exp::make_named_topology("nonsense"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::make_named_topology("ring-"),
+               std::invalid_argument);
+}
+
+}  // namespace
