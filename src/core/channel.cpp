@@ -21,32 +21,34 @@ std::optional<HtlcId> Channel::offer_htlc(Side side, Amount amount,
   if (balance_[s] < amount) return std::nullopt;
   balance_[s] -= amount;
   pending_[s] += amount;
-  const HtlcId id = next_id_++;
-  htlcs_.emplace(id, Htlc{side, amount, lock});
+  const SlabHandle h = htlcs_.acquire();
+  *htlcs_.get(h) = Htlc{side, amount, lock};
   assert(conserves_funds());
-  return id;
+  return h.packed();
 }
 
 bool Channel::settle_htlc(HtlcId id, Preimage key) {
-  const auto it = htlcs_.find(id);
-  if (it == htlcs_.end()) return false;
-  if (!unlocks(key, it->second.lock)) return false;
-  const int offerer = static_cast<int>(it->second.offerer);
-  const int receiver = static_cast<int>(opposite(it->second.offerer));
-  pending_[offerer] -= it->second.amount;
-  balance_[receiver] += it->second.amount;
-  htlcs_.erase(it);
+  const SlabHandle h = SlabHandle::unpack(id);
+  const Htlc* htlc = htlcs_.get(h);
+  if (htlc == nullptr) return false;
+  if (!unlocks(key, htlc->lock)) return false;
+  const int offerer = static_cast<int>(htlc->offerer);
+  const int receiver = static_cast<int>(opposite(htlc->offerer));
+  pending_[offerer] -= htlc->amount;
+  balance_[receiver] += htlc->amount;
+  htlcs_.release(h);
   assert(conserves_funds());
   return true;
 }
 
 bool Channel::fail_htlc(HtlcId id) {
-  const auto it = htlcs_.find(id);
-  if (it == htlcs_.end()) return false;
-  const int offerer = static_cast<int>(it->second.offerer);
-  pending_[offerer] -= it->second.amount;
-  balance_[offerer] += it->second.amount;
-  htlcs_.erase(it);
+  const SlabHandle h = SlabHandle::unpack(id);
+  const Htlc* htlc = htlcs_.get(h);
+  if (htlc == nullptr) return false;
+  const int offerer = static_cast<int>(htlc->offerer);
+  pending_[offerer] -= htlc->amount;
+  balance_[offerer] += htlc->amount;
+  htlcs_.release(h);
   assert(conserves_funds());
   return true;
 }

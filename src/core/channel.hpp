@@ -14,9 +14,9 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "core/htlc.hpp"
+#include "core/slab.hpp"
 #include "core/types.hpp"
 
 namespace spider::core {
@@ -28,7 +28,9 @@ enum class Side : std::uint8_t { kA = 0, kB = 1 };
   return s == Side::kA ? Side::kB : Side::kA;
 }
 
-/// Identifier for an in-flight HTLC within one channel.
+/// Identifier for an in-flight HTLC within one channel: a packed
+/// generation-checked slab handle. Opaque to callers; 0 is never a
+/// valid id, and ids of settled/failed HTLCs are detected as stale.
 using HtlcId = std::uint64_t;
 
 class Channel {
@@ -65,7 +67,7 @@ class Channel {
   bool fail_htlc(HtlcId id);
 
   /// Number of HTLCs currently in flight.
-  [[nodiscard]] std::size_t inflight_count() const { return htlcs_.size(); }
+  [[nodiscard]] std::size_t inflight_count() const { return htlcs_.live(); }
 
   /// On-chain top-up: `side` deposits `amount` new escrowed funds
   /// (rebalancing, §5.2.3).
@@ -92,8 +94,7 @@ class Channel {
   Amount balance_[2];
   Amount pending_[2] = {0, 0};
   Amount total_;
-  HtlcId next_id_ = 1;
-  std::unordered_map<HtlcId, Htlc> htlcs_;
+  Slab<Htlc> htlcs_;  // HtlcId == packed slab handle
 };
 
 }  // namespace spider::core

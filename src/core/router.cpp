@@ -1,36 +1,75 @@
 #include "core/router.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace spider::core {
 
-UnitQueue& Router::queue(ArcId a) {
-  auto it = queues_.find(a);
-  if (it == queues_.end()) {
-    it = queues_.emplace(a, UnitQueue(policy_)).first;
+void Router::bind(std::span<const ArcId> out_arcs) {
+  arcs_.assign(out_arcs.begin(), out_arcs.end());
+  queues_.clear();
+  queues_.reserve(arcs_.size());
+  for (std::size_t i = 0; i < arcs_.size(); ++i) queues_.emplace_back(policy_);
+  units_ = 0;
+  amount_ = 0;
+}
+
+std::size_t Router::local_index(ArcId a) const {
+  const auto it = std::lower_bound(arcs_.begin(), arcs_.end(), a);
+  if (it == arcs_.end() || *it != a) return npos;
+  return static_cast<std::size_t>(it - arcs_.begin());
+}
+
+void Router::push(ArcId a, const QueuedUnit& u) {
+  const std::size_t i = local_index(a);
+  if (i == npos) {
+    throw std::out_of_range("Router::push: arc not bound to this router");
   }
-  return it->second;
+  push_local(i, u);
+}
+
+void Router::push_local(std::size_t i, const QueuedUnit& u) {
+  queues_[i].push(u);
+  ++units_;
+  amount_ += u.amount;
+}
+
+std::optional<QueuedUnit> Router::pop(ArcId a) {
+  const std::size_t i = local_index(a);
+  if (i == npos) {
+    throw std::out_of_range("Router::pop: arc not bound to this router");
+  }
+  return pop_local(i);
+}
+
+std::optional<QueuedUnit> Router::pop_local(std::size_t i) {
+  std::optional<QueuedUnit> u = queues_[i].pop();
+  if (u) {
+    --units_;
+    amount_ -= u->amount;
+  }
+  return u;
+}
+
+const QueuedUnit* Router::peek(ArcId a) const {
+  const std::size_t i = local_index(a);
+  return i == npos ? nullptr : queues_[i].peek();
 }
 
 const UnitQueue* Router::find_queue(ArcId a) const {
-  const auto it = queues_.find(a);
-  return it == queues_.end() ? nullptr : &it->second;
-}
-
-std::size_t Router::queued_units() const {
-  std::size_t n = 0;
-  for (const auto& [arc, q] : queues_) n += q.size();
-  return n;
-}
-
-Amount Router::queued_amount() const {
-  Amount total = 0;
-  for (const auto& [arc, q] : queues_) total += q.total_amount();
-  return total;
+  const std::size_t i = local_index(a);
+  return i == npos ? nullptr : &queues_[i];
 }
 
 std::vector<QueuedUnit> Router::drop_expired(TimePoint now) {
   std::vector<QueuedUnit> expired;
-  for (auto& [arc, q] : queues_) {
+  if (units_ == 0) return expired;
+  for (UnitQueue& q : queues_) {
     auto dropped = q.drop_expired(now);
+    for (const QueuedUnit& u : dropped) {
+      --units_;
+      amount_ -= u.amount;
+    }
     expired.insert(expired.end(), dropped.begin(), dropped.end());
   }
   return expired;

@@ -5,9 +5,18 @@
 // the other side. The forwarding *decisions* are source-routed (the unit
 // carries its path); the router contributes queueing, scheduling, and
 // per-channel accounting.
+//
+// Queues live in a dense vector indexed by the node's *local out-arc
+// index* (position in the graph's adjacency list, which is ascending in
+// ArcId). By-arc calls binary-search the bound arc list; hot callers
+// precompute the local index once and use the `_local` variants. The
+// router keeps O(1) running totals of queued units and queued value so
+// the simulator's expiry sweep and telemetry sampling never walk queues.
 
 #include <cstddef>
-#include <map>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
@@ -21,26 +30,56 @@ class Router {
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] SchedulingPolicy policy() const { return policy_; }
 
-  /// Queue of units waiting for funds on outgoing arc `a` (created on
-  /// first use). Only arcs whose tail is this router make sense here.
-  [[nodiscard]] UnitQueue& queue(ArcId a);
+  /// Installs this router's outgoing arcs (must be sorted ascending, as
+  /// Graph::out_arcs yields them) and creates one queue per arc.
+  /// Replaces any previous binding; existing queue contents are dropped.
+  void bind(std::span<const ArcId> out_arcs);
 
-  /// Read-only peek; nullptr if the arc has no queue yet.
+  /// Number of bound outgoing arcs (== number of queues).
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size(); }
+
+  /// Local index of outgoing arc `a`, or npos if `a` is not bound here.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t local_index(ArcId a) const;
+
+  /// Enqueues a unit waiting for funds on outgoing arc `a`.
+  /// Throws std::out_of_range if `a` is not a bound outgoing arc.
+  void push(ArcId a, const QueuedUnit& u);
+  void push_local(std::size_t i, const QueuedUnit& u);
+
+  /// Removes and returns the highest-priority unit queued on `a`
+  /// (nullopt when empty). Throws std::out_of_range on unbound arcs.
+  std::optional<QueuedUnit> pop(ArcId a);
+  std::optional<QueuedUnit> pop_local(std::size_t i);
+
+  /// Highest-priority unit queued on `a` without removing it; nullptr
+  /// when the queue is empty or `a` is not bound here.
+  [[nodiscard]] const QueuedUnit* peek(ArcId a) const;
+  [[nodiscard]] const QueuedUnit* peek_local(std::size_t i) const {
+    return queues_[i].peek();
+  }
+
+  /// Read-only queue for arc `a`; nullptr if `a` is not bound here.
   [[nodiscard]] const UnitQueue* find_queue(ArcId a) const;
 
-  /// Units queued across all outgoing arcs.
-  [[nodiscard]] std::size_t queued_units() const;
+  /// Units queued across all outgoing arcs. O(1).
+  [[nodiscard]] std::size_t queued_units() const { return units_; }
 
-  /// Total value queued across all outgoing arcs.
-  [[nodiscard]] Amount queued_amount() const;
+  /// Total value queued across all outgoing arcs. O(1).
+  [[nodiscard]] Amount queued_amount() const { return amount_; }
 
-  /// Drops expired units from every queue and returns them.
+  /// Drops expired units from every queue and returns them. O(arc
+  /// count) when nothing expired (each queue early-outs on its tracked
+  /// minimum deadline); O(1) when this router queues nothing at all.
   std::vector<QueuedUnit> drop_expired(TimePoint now);
 
  private:
   NodeId id_;
   SchedulingPolicy policy_;
-  std::map<ArcId, UnitQueue> queues_;
+  std::vector<ArcId> arcs_;        // sorted ascending; parallel to queues_
+  std::vector<UnitQueue> queues_;  // indexed by local out-arc index
+  std::size_t units_ = 0;          // running sum of queues_[i].size()
+  Amount amount_ = 0;              // running sum of queues_[i].total_amount()
 };
 
 }  // namespace spider::core

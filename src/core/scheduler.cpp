@@ -18,45 +18,37 @@ std::string to_string(SchedulingPolicy p) {
   return "unknown";
 }
 
-bool UnitQueue::Cmp::operator()(const QueuedUnit& a,
-                                const QueuedUnit& b) const {
-  switch (policy) {
-    case SchedulingPolicy::kFifo:
-      if (a.enqueued != b.enqueued) return a.enqueued < b.enqueued;
-      break;
-    case SchedulingPolicy::kLifo:
-      if (a.enqueued != b.enqueued) return a.enqueued > b.enqueued;
-      break;
-    case SchedulingPolicy::kSrpt:
-      if (a.remaining_payment != b.remaining_payment) {
-        return a.remaining_payment < b.remaining_payment;
-      }
-      break;
-    case SchedulingPolicy::kEdf:
-      if (a.deadline != b.deadline) return a.deadline < b.deadline;
-      break;
-  }
-  return a.unit < b.unit;  // deterministic tie-break
-}
+UnitQueue::UnitQueue(SchedulingPolicy policy) : policy_(policy) {}
 
-UnitQueue::UnitQueue(SchedulingPolicy policy)
-    : policy_(policy), items_(Cmp{policy}) {}
+void UnitQueue::push(const QueuedUnit& u) {
+  items_.push_back(u);
+  std::push_heap(items_.begin(), items_.end(), later());
+  total_amount_ += u.amount;
+  if (u.deadline < min_deadline_) min_deadline_ = u.deadline;
+}
 
 std::optional<QueuedUnit> UnitQueue::pop() {
   if (items_.empty()) return std::nullopt;
-  QueuedUnit u = *items_.begin();
-  items_.erase(items_.begin());
+  std::pop_heap(items_.begin(), items_.end(), later());
+  QueuedUnit u = items_.back();
+  items_.pop_back();
+  total_amount_ -= u.amount;
+  if (items_.empty()) min_deadline_ = kNever;
   return u;
 }
 
 const QueuedUnit* UnitQueue::peek() const {
-  return items_.empty() ? nullptr : &*items_.begin();
+  return items_.empty() ? nullptr : &items_.front();
 }
 
 bool UnitQueue::erase(TxUnitId unit) {
-  for (auto it = items_.begin(); it != items_.end(); ++it) {
-    if (it->unit == unit) {
-      items_.erase(it);
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].unit == unit) {
+      total_amount_ -= items_[i].amount;
+      items_[i] = items_.back();
+      items_.pop_back();
+      std::make_heap(items_.begin(), items_.end(), later());
+      if (items_.empty()) min_deadline_ = kNever;
       return true;
     }
   }
@@ -64,38 +56,39 @@ bool UnitQueue::erase(TxUnitId unit) {
 }
 
 void UnitQueue::update_remaining(PaymentId payment, Amount remaining) {
-  std::vector<QueuedUnit> changed;
-  for (auto it = items_.begin(); it != items_.end();) {
-    if (it->unit.payment == payment) {
-      changed.push_back(*it);
-      it = items_.erase(it);
-    } else {
-      ++it;
+  bool changed = false;
+  for (QueuedUnit& u : items_) {
+    if (u.unit.payment == payment) {
+      u.remaining_payment = remaining;
+      changed = true;
     }
   }
-  for (QueuedUnit& u : changed) {
-    u.remaining_payment = remaining;
-    items_.insert(u);
-  }
+  if (changed) std::make_heap(items_.begin(), items_.end(), later());
 }
 
 std::vector<QueuedUnit> UnitQueue::drop_expired(TimePoint now) {
   std::vector<QueuedUnit> expired;
-  for (auto it = items_.begin(); it != items_.end();) {
-    if (it->deadline < now) {
-      expired.push_back(*it);
-      it = items_.erase(it);
+  if (min_deadline_ >= now) return expired;  // nothing can have expired
+  TimePoint min_left = kNever;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].deadline < now) {
+      total_amount_ -= items_[i].amount;
+      expired.push_back(items_[i]);
     } else {
-      ++it;
+      if (items_[i].deadline < min_left) min_left = items_[i].deadline;
+      items_[kept++] = items_[i];
     }
   }
+  if (!expired.empty()) {
+    items_.resize(kept);
+    std::make_heap(items_.begin(), items_.end(), later());
+    // Callers act on each expired unit in turn; hand them over in the
+    // order the old priority-ordered container would have yielded.
+    std::sort(expired.begin(), expired.end(), Cmp{policy_});
+  }
+  min_deadline_ = min_left;
   return expired;
-}
-
-Amount UnitQueue::total_amount() const {
-  Amount total = 0;
-  for (const QueuedUnit& u : items_) total += u.amount;
-  return total;
 }
 
 }  // namespace spider::core

@@ -1,0 +1,124 @@
+#pragma once
+// Generation-checked slab allocator: O(1) acquire/release with stable
+// 32-bit indices and ABA-safe handles. The packet simulator keys its
+// in-flight transaction units by slab handle (a pool bump instead of a
+// hash insert per unit), and Channel keys its in-flight HTLCs the same
+// way. A handle packs to one 64-bit word, so it rides in the typed
+// event queue's payload unchanged.
+//
+// Recycled slots keep their previous tenant's value object, so any
+// heap capacity it owned (e.g. a vector) is reused; the caller resets
+// the fields it needs after acquire().
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace spider::core {
+
+/// Handle to a slab slot. Stale handles (released, possibly recycled)
+/// are detected via the generation counter: get() returns nullptr.
+struct SlabHandle {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;  // 0 never matches a live slot
+
+  /// One-word encoding for event payloads; 0 is never a live handle.
+  [[nodiscard]] constexpr std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(gen) << 32) | index;
+  }
+  [[nodiscard]] static constexpr SlabHandle unpack(std::uint64_t word) {
+    return SlabHandle{static_cast<std::uint32_t>(word),
+                      static_cast<std::uint32_t>(word >> 32)};
+  }
+
+  friend bool operator==(const SlabHandle&, const SlabHandle&) = default;
+};
+
+/// Slots live in fixed-size chunks, so growing the slab never moves an
+/// existing slot: value addresses are stable for a slot's lifetime and
+/// growth costs one chunk allocation instead of a full realloc-and-copy.
+template <typename T>
+class Slab {
+ public:
+  /// Claims a slot (recycling released ones first) and returns its
+  /// handle. The slot's value is the previous tenant's (capacity
+  /// preserved) or default-constructed; reset what you use.
+  SlabHandle acquire() {
+    std::uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(size_);
+      if ((size_ >> kChunkBits) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+      ++size_;
+    }
+    Slot& s = slot(index);
+    s.occupied = true;
+    ++live_;
+    return SlabHandle{index, s.gen};
+  }
+
+  /// Slot value for a live handle; nullptr if stale or never valid.
+  [[nodiscard]] T* get(SlabHandle h) {
+    if (h.index >= size_) return nullptr;
+    Slot& s = slot(h.index);
+    return (s.occupied && s.gen == h.gen) ? &s.value : nullptr;
+  }
+  [[nodiscard]] const T* get(SlabHandle h) const {
+    if (h.index >= size_) return nullptr;
+    const Slot& s = slot(h.index);
+    return (s.occupied && s.gen == h.gen) ? &s.value : nullptr;
+  }
+
+  /// Frees the slot and invalidates every handle to it (generation
+  /// bump). No-op on stale handles.
+  void release(SlabHandle h) {
+    if (get(h) == nullptr) return;
+    Slot& s = slot(h.index);
+    s.occupied = false;
+    ++s.gen;
+    --live_;
+    free_.push_back(h.index);
+  }
+
+  /// Number of live (acquired, unreleased) slots.
+  [[nodiscard]] std::size_t live() const { return live_; }
+  /// Total slots ever created (live + free).
+  [[nodiscard]] std::size_t capacity() const { return size_; }
+
+  /// Pre-allocates chunks for at least `n` slots.
+  void reserve(std::size_t n) {
+    const std::size_t chunks = (n + kChunkSize - 1) >> kChunkBits;
+    while (chunks_.size() < chunks) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+  }
+
+ private:
+  static constexpr std::size_t kChunkBits = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+
+  struct Slot {
+    T value{};
+    std::uint32_t gen = 1;
+    bool occupied = false;
+  };
+
+  [[nodiscard]] Slot& slot(std::uint32_t i) {
+    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t i) const {
+    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::size_t size_ = 0;  // slots ever created
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace spider::core

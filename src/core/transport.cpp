@@ -4,25 +4,41 @@
 
 namespace spider::core {
 
-std::vector<TxUnit> Transport::begin_payment(PaymentId id,
-                                             const PaymentRequest& req,
-                                             Amount mtu) {
+const std::vector<TxUnit>& Transport::begin_payment(PaymentId id,
+                                                    const PaymentRequest& req,
+                                                    Amount mtu) {
   if (req.src != node_) {
     throw std::invalid_argument("Transport::begin_payment: wrong source");
   }
   if (mtu <= 0 || req.amount <= 0) {
     throw std::invalid_argument("Transport::begin_payment: bad mtu/amount");
   }
-  if (payments_.contains(id)) {
+  if (find_payment(id) != nullptr) {
     throw std::invalid_argument("Transport::begin_payment: duplicate id");
   }
   OutPayment op;
   op.request = req;
   const auto unit_count =
       static_cast<std::uint32_t>((req.amount + mtu - 1) / mtu);
-  std::vector<LockHash> locks;
+  // Key generation mirrors HtlcKeyRing draw-for-draw (determinism):
+  // non-atomic draws one fresh key per unit; atomic draws a base key
+  // then unit_count-1 shares, the last share completing the XOR.
+  op.keys.reserve(unit_count);
   if (req.kind == PaymentKind::kAtomic) {
-    locks = keys_.create_atomic_locks(id, unit_count);
+    const Preimage base = rng_();
+    Preimage running = base;
+    for (std::uint32_t i = 0; i < unit_count; ++i) {
+      Preimage share;
+      if (i + 1 < unit_count) {
+        share = rng_();
+        running ^= share;
+      } else {
+        share = running;  // last share completes the XOR to base
+      }
+      op.keys.push_back(share);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < unit_count; ++i) op.keys.push_back(rng_());
   }
   Amount left = req.amount;
   for (std::uint32_t seq = 0; seq < unit_count; ++seq) {
@@ -33,23 +49,24 @@ std::vector<TxUnit> Transport::begin_payment(PaymentId id,
     u.amount = std::min(mtu, left);
     left -= u.amount;
     u.deadline = req.deadline;
-    u.lock = req.kind == PaymentKind::kAtomic ? locks[seq]
-                                              : keys_.create_lock(u.id);
+    u.lock = hash_preimage(op.keys[seq]);
     op.units.push_back(u);
   }
   op.confirmed.assign(unit_count, 0);
   op.abandoned.assign(unit_count, 0);
-  std::vector<TxUnit> out = op.units;
-  payments_.emplace(id, std::move(op));
-  return out;
+  op.key_released.assign(unit_count, 0);
+  payments_.push_back(std::move(op));
+  if (id >= slot_of_.size()) slot_of_.resize(id + 1, 0);
+  slot_of_[id] = static_cast<std::uint32_t>(payments_.size());
+  return payments_.back().units;
 }
 
 std::vector<KeyRelease> Transport::confirm_unit(TxUnitId unit, TimePoint now) {
-  auto it = payments_.find(unit.payment);
-  if (it == payments_.end()) {
+  OutPayment* found = find_payment(unit.payment);
+  if (found == nullptr) {
     throw std::invalid_argument("Transport::confirm_unit: unknown payment");
   }
-  OutPayment& op = it->second;
+  OutPayment& op = *found;
   if (unit.seq >= op.units.size()) {
     throw std::invalid_argument("Transport::confirm_unit: bad seq");
   }
@@ -63,40 +80,37 @@ std::vector<KeyRelease> Transport::confirm_unit(TxUnitId unit, TimePoint now) {
 
   std::vector<KeyRelease> releases;
   if (op.request.kind == PaymentKind::kNonAtomic) {
-    if (const auto key = keys_.release(unit)) {
-      releases.push_back({unit, *key});
+    if (!op.key_released[unit.seq]) {
+      op.key_released[unit.seq] = 1;
+      releases.push_back({unit, op.keys[unit.seq]});
     }
   } else if (op.confirmed_count == op.units.size() && !op.keys_released) {
     // All shares arrived: the receiver can reconstruct the base key, so
     // every unit's route settles now.
-    if (keys_.release_atomic(unit.payment, op.confirmed_count)) {
-      op.keys_released = true;
-      for (std::uint32_t seq = 0; seq < op.units.size(); ++seq) {
-        const TxUnitId uid{unit.payment, seq};
-        if (const auto key = keys_.release(uid)) {
-          releases.push_back({uid, *key});
-        }
-      }
+    op.keys_released = true;
+    for (std::uint32_t seq = 0; seq < op.units.size(); ++seq) {
+      if (op.key_released[seq]) continue;
+      op.key_released[seq] = 1;
+      releases.push_back({TxUnitId{unit.payment, seq}, op.keys[seq]});
     }
   }
   return releases;
 }
 
 void Transport::abandon_unit(TxUnitId unit) {
-  auto it = payments_.find(unit.payment);
-  if (it == payments_.end()) return;
-  OutPayment& op = it->second;
-  if (unit.seq < op.units.size() && !op.confirmed[unit.seq]) {
-    op.abandoned[unit.seq] = 1;
+  OutPayment* op = find_payment(unit.payment);
+  if (op == nullptr) return;
+  if (unit.seq < op->units.size() && !op->confirmed[unit.seq]) {
+    op->abandoned[unit.seq] = 1;
   }
 }
 
 const Transport::OutPayment& Transport::get(PaymentId id) const {
-  const auto it = payments_.find(id);
-  if (it == payments_.end()) {
+  const OutPayment* op = find_payment(id);
+  if (op == nullptr) {
     throw std::invalid_argument("Transport: unknown payment id");
   }
-  return it->second;
+  return *op;
 }
 
 Amount Transport::delivered(PaymentId id) const {
@@ -105,11 +119,6 @@ Amount Transport::delivered(PaymentId id) const {
     return 0;  // nothing unlockable until every share confirmed
   }
   return op.confirmed_amount;
-}
-
-Amount Transport::remaining(PaymentId id) const {
-  const OutPayment& op = get(id);
-  return op.request.amount - op.confirmed_amount;
 }
 
 PaymentStatus Transport::status(PaymentId id, TimePoint now) const {

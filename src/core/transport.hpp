@@ -11,8 +11,9 @@
 //    units;
 //  * atomic: all keys released together only when every unit confirmed.
 
+#include <deque>
 #include <optional>
-#include <unordered_map>
+#include <random>
 #include <vector>
 
 #include "core/htlc.hpp"
@@ -38,15 +39,17 @@ struct KeyRelease {
 
 class Transport {
  public:
-  Transport(NodeId node, std::uint64_t seed) : node_(node), keys_(seed) {}
+  Transport(NodeId node, std::uint64_t seed) : node_(node), rng_(seed) {}
 
   [[nodiscard]] NodeId node() const { return node_; }
 
   /// Registers `req` (whose src must be this node) under `id` and splits
   /// it into ceil(amount / mtu) units: full-MTU units plus a remainder.
-  /// Returns the units to transmit. mtu must be > 0.
-  std::vector<TxUnit> begin_payment(PaymentId id, const PaymentRequest& req,
-                                    Amount mtu);
+  /// Returns the units to transmit (a reference into the payment record,
+  /// valid until the Transport is destroyed). mtu must be > 0.
+  const std::vector<TxUnit>& begin_payment(PaymentId id,
+                                           const PaymentRequest& req,
+                                           Amount mtu);
 
   /// Receiver confirmed `unit` at time `now`. Returns the keys the sender
   /// releases as a consequence (see file comment). Confirmations after
@@ -66,25 +69,50 @@ class Transport {
 
   [[nodiscard]] const PaymentRequest& request(PaymentId id) const;
 
-  /// Remaining amount not yet confirmed (for SRPT scheduling).
-  [[nodiscard]] Amount remaining(PaymentId id) const;
+  /// Remaining amount not yet confirmed (for SRPT scheduling). Called
+  /// on every router-queue push; inline via the cached lookup.
+  [[nodiscard]] Amount remaining(PaymentId id) const {
+    const OutPayment& op = get(id);
+    return op.request.amount - op.confirmed_amount;
+  }
 
  private:
+  // Per-unit key state lives densely inside the payment (indexed by
+  // unit seq) instead of a sender-global hash map: releasing a key on
+  // the ack hot path is one vector access.
   struct OutPayment {
     PaymentRequest request;
     std::vector<TxUnit> units;
-    std::vector<char> confirmed;   // per unit
-    std::vector<char> abandoned;   // per unit
+    std::vector<Preimage> keys;      // per unit (atomic: the XOR share)
+    std::vector<char> confirmed;     // per unit
+    std::vector<char> abandoned;     // per unit
+    std::vector<char> key_released;  // per unit
     Amount confirmed_amount = 0;
     std::uint32_t confirmed_count = 0;
-    bool keys_released = false;    // atomic: base key released
+    bool keys_released = false;  // atomic: base key released
   };
 
   const OutPayment& get(PaymentId id) const;
+  /// Payment ids are dense (the simulators assign them sequentially),
+  /// so lookup is one array index into `slot_of_` instead of a hash:
+  /// remaining() runs on every router-queue push and confirm_unit on
+  /// every ack. Payment records live in a deque so references returned
+  /// by begin_payment stay valid as later payments arrive.
+  OutPayment* find_payment(PaymentId id) {
+    if (id >= slot_of_.size()) return nullptr;
+    const std::uint32_t pos = slot_of_[id];
+    return pos != 0 ? &payments_[pos - 1] : nullptr;
+  }
+  const OutPayment* find_payment(PaymentId id) const {
+    if (id >= slot_of_.size()) return nullptr;
+    const std::uint32_t pos = slot_of_[id];
+    return pos != 0 ? &payments_[pos - 1] : nullptr;
+  }
 
   NodeId node_;
-  HtlcKeyRing keys_;
-  std::unordered_map<PaymentId, OutPayment> payments_;
+  std::mt19937_64 rng_;  // key generator (same draw order as HtlcKeyRing)
+  std::deque<OutPayment> payments_;
+  std::vector<std::uint32_t> slot_of_;  // id -> index+1 (0 = absent)
 };
 
 }  // namespace spider::core

@@ -281,10 +281,9 @@ std::vector<EdgeId> bfs_spanning_tree(const Graph& g, NodeId root) {
 Path tree_path(const Graph& g, std::span<const EdgeId> tree_edges, NodeId s,
                NodeId t) {
   // BFS restricted to tree edges; the tree guarantees a unique path.
-  std::vector<char> allowed(g.edge_count(), 0);
-  for (const EdgeId e : tree_edges) allowed[e] = 1;
-  std::vector<char> blocked(g.edge_count(), 0);
-  for (EdgeId e = 0; e < g.edge_count(); ++e) blocked[e] = !allowed[e];
+  // Everything starts blocked; tree edges are unblocked in one pass.
+  std::vector<char> blocked(g.edge_count(), 1);
+  for (const EdgeId e : tree_edges) blocked[e] = 0;
   auto p = bfs_shortest_path(g, s, t, blocked);
   if (!p) {
     throw std::invalid_argument("tree_path: nodes not connected by tree");

@@ -1,30 +1,120 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace spider::sim {
 
-void EventQueue::schedule(TimePoint t, Handler fn) {
+namespace {
+constexpr std::size_t kArity = 4;  // 4-ary heap: children of i at 4i+1..4i+4
+}
+
+void EventQueue::push_event(TimePoint t, EventKind kind, std::uint64_t a,
+                            std::uint64_t b) {
+  push_raw(t, (next_seq_++ << 8) | static_cast<std::uint64_t>(kind), a, b);
+}
+
+void EventQueue::push_raw(TimePoint t, std::uint64_t meta, std::uint64_t a,
+                          std::uint64_t b) {
   if (t < now_) {
     throw std::invalid_argument("EventQueue::schedule: time in the past");
   }
-  events_.push(Event{t, next_seq_++, std::move(fn)});
+  // Sift up.
+  std::size_t i = heap_.size();
+  const Event ev{t, meta, a, b};
+  heap_.push_back(ev);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!ev.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = ev;
+}
+
+void EventQueue::schedule_typed_reserved(TimePoint t, EventKind kind,
+                                         std::uint64_t seq, std::uint64_t a,
+                                         std::uint64_t b) {
+  if (kind == EventKind::kCallback) {
+    throw std::invalid_argument(
+        "EventQueue::schedule_typed_reserved: kCallback is internal");
+  }
+  push_raw(t, (seq << 8) | static_cast<std::uint64_t>(kind), a, b);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Event ev = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(ev)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = ev;
+}
+
+void EventQueue::schedule_typed(TimePoint t, EventKind kind, std::uint64_t a,
+                                std::uint64_t b) {
+  if (kind == EventKind::kCallback) {
+    throw std::invalid_argument(
+        "EventQueue::schedule_typed: kCallback is internal; use schedule()");
+  }
+  push_event(t, kind, a, b);
+}
+
+void EventQueue::schedule(TimePoint t, Handler fn) {
+  std::uint32_t slot;
+  if (!free_handlers_.empty()) {
+    slot = free_handlers_.back();
+    free_handlers_.pop_back();
+    handlers_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(handlers_.size());
+    handlers_.push_back(std::move(fn));
+  }
+  try {
+    push_event(t, EventKind::kCallback, slot, 0);
+  } catch (...) {
+    handlers_[slot] = nullptr;
+    free_handlers_.push_back(slot);
+    throw;
+  }
 }
 
 bool EventQueue::run_next() {
-  if (events_.empty()) return false;
-  // priority_queue::top returns const&; the handler must be moved out
-  // before pop. const_cast is confined to this one spot.
-  Event ev = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
+  if (heap_.empty()) return false;
+  const Event ev = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
   now_ = ev.time;
-  ev.fn();
+  ++processed_;
+  if (ev.kind() == EventKind::kCallback) {
+    const auto slot = static_cast<std::uint32_t>(ev.a);
+    Handler fn = std::move(handlers_[slot]);
+    handlers_[slot] = nullptr;
+    free_handlers_.push_back(slot);
+    fn();
+  } else {
+    if (dispatcher_ == nullptr) {
+      throw std::logic_error(
+          "EventQueue: typed event fired without a dispatcher");
+    }
+    dispatcher_(dispatcher_ctx_, ev.kind(), ev.a, ev.b);
+  }
   return true;
 }
 
 void EventQueue::run_until(TimePoint t_end) {
-  while (!events_.empty() && events_.top().time <= t_end) {
+  while (!heap_.empty() && heap_.front().time <= t_end) {
     run_next();
   }
   if (now_ < t_end) now_ = t_end;

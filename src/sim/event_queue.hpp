@@ -2,10 +2,23 @@
 // Minimal deterministic discrete-event engine. Events fire in (time,
 // insertion-order) order, so two runs with the same seed are bit-for-bit
 // identical.
+//
+// Two scheduling paths share one clock and one sequence counter:
+//
+//  * typed events -- a tagged union of the simulator's fixed event
+//    kinds with two 64-bit payload words, stored inline in the binary
+//    heap. Scheduling one is a heap push with zero per-event
+//    allocation; firing one calls the registered dispatcher (a plain
+//    function pointer + context, set once per simulation).
+//  * callback events -- the std::function escape hatch used by the
+//    flow simulator, tests, and examples. The handler lives in a
+//    free-list slab; the heap entry stays POD.
+//
+// Because both paths draw from the same sequence counter, mixing them
+// preserves the global (time, insertion-order) ordering exactly.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "core/types.hpp"
@@ -14,11 +27,63 @@ namespace spider::sim {
 
 using core::TimePoint;
 
+/// Fixed event kinds of the packet-level simulator (§4 substrate).
+/// kCallback is internal to EventQueue (the escape hatch); the others
+/// are interpreted by the registered dispatcher.
+enum class EventKind : std::uint8_t {
+  kArrival,       // a payment enters the network (payload a = PaymentId)
+  kHopAdvance,    // a unit finishes a hop's propagation delay (a = handle)
+  kAck,           // receiver confirmation reaches the sender (a = handle)
+  kSettle,        // reserved: deferred settlement (a = handle, b = key)
+  kExpirySweep,   // periodic router-queue expiry sweep (no payload)
+  kSeriesSample,  // periodic telemetry sample (no payload)
+  kCallback,      // internal: run a slab-stored std::function
+};
+
 class EventQueue {
  public:
   using Handler = std::function<void()>;
+  /// Typed-event sink: called with the event's kind and payload words.
+  using Dispatcher = void (*)(void* ctx, EventKind kind, std::uint64_t a,
+                              std::uint64_t b);
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  /// Registers the typed-event sink (one per queue; required before the
+  /// first typed event fires).
+  void set_dispatcher(Dispatcher fn, void* ctx) {
+    dispatcher_ = fn;
+    dispatcher_ctx_ = ctx;
+  }
+
+  /// Schedules a typed event at absolute time `t` (must be >= now(),
+  /// throws std::invalid_argument otherwise). Zero allocation.
+  void schedule_typed(TimePoint t, EventKind kind, std::uint64_t a = 0,
+                      std::uint64_t b = 0);
+
+  /// Schedules a typed event after a relative delay.
+  void schedule_typed_in(TimePoint delay, EventKind kind, std::uint64_t a = 0,
+                         std::uint64_t b = 0) {
+    schedule_typed(now_ + delay, kind, a, b);
+  }
+
+  /// Pre-allocates `count` consecutive sequence numbers and returns the
+  /// first. Lets a caller with a statically known event list (e.g. all
+  /// payment arrivals) chain-schedule events one at a time -- keeping
+  /// the heap small -- while preserving the exact (time, seq) order the
+  /// events would have had if all were scheduled up front.
+  std::uint64_t reserve_seqs(std::uint64_t count) {
+    const std::uint64_t first = next_seq_;
+    next_seq_ += count;
+    return first;
+  }
+
+  /// Schedules a typed event under a sequence number obtained from
+  /// reserve_seqs (same t >= now() contract as schedule_typed).
+  void schedule_typed_reserved(TimePoint t, EventKind kind, std::uint64_t seq,
+                               std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Schedules `fn` at absolute time `t` (must be >= now(), throws
+  /// std::invalid_argument otherwise). Escape hatch for callers without
+  /// a typed dispatcher.
   void schedule(TimePoint t, Handler fn);
 
   /// Schedules `fn` after a relative delay.
@@ -38,24 +103,53 @@ class EventQueue {
   void run_all();
 
   [[nodiscard]] TimePoint now() const { return now_; }
-  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Events executed so far (monotone; the unit of events/sec benches).
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
  private:
+  /// POD heap entry, 32 bytes: the sequence number and kind share one
+  /// word (seq in the high 56 bits, so ordering by `meta` IS ordering
+  /// by insertion sequence). Payload is inline, callbacks indirect via
+  /// slot `a`.
   struct Event {
     TimePoint time;
-    std::uint64_t seq;
-    Handler fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    std::uint64_t meta;  // (seq << 8) | kind
+    std::uint64_t a;
+    std::uint64_t b;
+
+    [[nodiscard]] EventKind kind() const {
+      return static_cast<EventKind>(meta & 0xff);
+    }
+    /// Strict total order (time, seq): earlier fires first.
+    [[nodiscard]] bool before(const Event& o) const {
+      if (time != o.time) return time < o.time;
+      return meta < o.meta;
     }
   };
 
+  void push_event(TimePoint t, EventKind kind, std::uint64_t a,
+                  std::uint64_t b);
+  void push_raw(TimePoint t, std::uint64_t meta, std::uint64_t a,
+                std::uint64_t b);
+  void sift_down(std::size_t i);
+
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t processed_ = 0;
+  /// 4-ary min-heap on Event::before. The d-ary layout halves the pop
+  /// depth vs a binary heap and keeps siblings in one cache line; pop
+  /// order is the comparator's total order regardless of layout, so
+  /// determinism is untouched.
+  std::vector<Event> heap_;
+
+  // Callback slab: heap entries reference handlers_[a]; freed slots are
+  // recycled through free_handlers_.
+  std::vector<Handler> handlers_;
+  std::vector<std::uint32_t> free_handlers_;
+
+  Dispatcher dispatcher_ = nullptr;
+  void* dispatcher_ctx_ = nullptr;
 };
 
 }  // namespace spider::sim

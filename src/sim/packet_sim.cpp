@@ -17,10 +17,51 @@ PacketSimulator::PacketSimulator(const graph::Graph& g,
   }
   transports_.reserve(g.node_count());
   routers_.reserve(g.node_count());
+  arc_local_.assign(g.arc_count(), 0);
   for (core::NodeId v = 0; v < g.node_count(); ++v) {
     transports_.push_back(
         std::make_unique<core::Transport>(v, cfg_.seed ^ (v * 0x9e37ull)));
     routers_.emplace_back(v, cfg_.router_policy);
+    const std::span<const graph::ArcId> out = g.out_arcs(v);
+    routers_.back().bind(out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      arc_local_[out[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  pair_rows_.resize(g.node_count());
+  events_.set_dispatcher(&PacketSimulator::dispatch, this);
+}
+
+void PacketSimulator::dispatch(void* ctx, EventKind kind, std::uint64_t a,
+                               std::uint64_t b) {
+  (void)b;
+  auto* self = static_cast<PacketSimulator*>(ctx);
+  switch (kind) {
+    case EventKind::kArrival:
+      // Chain the next arrival into the heap (reserved seq keeps the
+      // global order identical to scheduling them all up front).
+      ++self->next_arrival_;
+      if (self->next_arrival_ < self->arrivals_.size()) {
+        const PendingArrival& next = self->arrivals_[self->next_arrival_];
+        self->events_.schedule_typed_reserved(next.time, EventKind::kArrival,
+                                              next.seq, next.pid);
+      }
+      self->arrive(static_cast<core::PaymentId>(a));
+      break;
+    case EventKind::kHopAdvance:
+      self->reach_next_hop(core::SlabHandle::unpack(a));
+      break;
+    case EventKind::kAck:
+      self->ack_unit(core::SlabHandle::unpack(a));
+      break;
+    case EventKind::kExpirySweep:
+      self->sweep_expired();
+      break;
+    case EventKind::kSeriesSample:
+      self->sample_series();
+      break;
+    default:
+      throw std::logic_error("PacketSimulator: unexpected event kind");
   }
 }
 
@@ -34,51 +75,54 @@ core::PaymentId PacketSimulator::submit(const core::PaymentRequest& req) {
   return requests_.size() - 1;
 }
 
-core::Amount PacketSimulator::queued_amount() const {
-  core::Amount total = 0;
-  for (const core::Router& r : routers_) total += r.queued_amount();
-  return total;
-}
-
-std::size_t PacketSimulator::queued_units() const {
-  std::size_t total = 0;
-  for (const core::Router& r : routers_) total += r.queued_units();
-  return total;
-}
-
-graph::Path PacketSimulator::select_path(const core::TxUnit& unit) {
-  const auto key = std::make_pair(unit.src, unit.dst);
-  auto it = path_cache_.find(key);
-  if (it == path_cache_.end()) {
-    it = path_cache_
-             .emplace(key, graph::edge_disjoint_shortest_paths(
-                               graph_, unit.src, unit.dst, cfg_.path_k))
-             .first;
+PacketSimulator::PairState& PacketSimulator::pair_state(core::NodeId src,
+                                                        core::NodeId dst) {
+  std::vector<std::uint32_t>& row = pair_rows_[src];
+  if (row.empty()) row.assign(graph_.node_count(), kNoPair);
+  std::uint32_t& slot = row[dst];
+  if (slot == kNoPair) {
+    slot = static_cast<std::uint32_t>(pairs_.size());
+    pairs_.emplace_back();
   }
-  const std::vector<graph::Path>& candidates = it->second;
-  if (candidates.empty()) return graph::Path{unit.src, {}};
+  return pairs_[slot];
+}
+
+core::SlabHandle PacketSimulator::handle_of(core::TxUnitId uid) const {
+  const std::vector<std::uint64_t>& row = payment_units_[uid.payment];
+  if (uid.seq >= row.size()) return {};
+  return core::SlabHandle::unpack(row[uid.seq]);
+}
+
+const graph::Path* PacketSimulator::select_path(const core::TxUnit& unit) {
+  PairState& ps = pair_state(unit.src, unit.dst);
+  if (!ps.paths_init) {
+    ps.paths_init = true;
+    ps.paths = graph::edge_disjoint_shortest_paths(graph_, unit.src, unit.dst,
+                                                   cfg_.path_k);
+  }
+  if (ps.paths.empty()) return nullptr;
   if (cfg_.path_policy == UnitPathPolicy::kRoundRobin) {
-    const std::size_t i = rr_counter_[key]++ % candidates.size();
-    return candidates[i];
+    return &ps.paths[ps.rr++ % ps.paths.size()];
   }
   // kWidest: the paper's imbalance-aware intuition -- send where the most
   // funds are available right now (waterfilling one unit at a time).
   std::size_t best = 0;
   core::Amount best_avail = -1;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const core::Amount avail = net_.path_available(candidates[i]);
+  for (std::size_t i = 0; i < ps.paths.size(); ++i) {
+    const core::Amount avail = net_.path_available(ps.paths[i]);
     if (avail > best_avail) {
       best_avail = avail;
       best = i;
     }
   }
-  return candidates[best];
+  return &ps.paths[best];
 }
 
 void PacketSimulator::arrive(core::PaymentId pid) {
   const core::PaymentRequest& req = requests_[pid];
-  const std::vector<core::TxUnit> units =
+  const std::vector<core::TxUnit>& units =
       transports_[req.src]->begin_payment(pid, req, cfg_.mtu);
+  payment_units_[pid].assign(units.size(), 0);
   for (const core::TxUnit& u : units) submit_unit(u);
 }
 
@@ -87,10 +131,11 @@ void PacketSimulator::submit_unit(const core::TxUnit& unit) {
     launch_unit(unit);
     return;
   }
-  CcState fresh;
-  fresh.window = cfg_.cc_initial_window;
-  CcState& cc =
-      cc_.try_emplace({unit.src, unit.dst}, fresh).first->second;
+  PairState& cc = pair_state(unit.src, unit.dst);
+  if (!cc.cc_init) {
+    cc.cc_init = true;
+    cc.window = cfg_.cc_initial_window;
+  }
   if (static_cast<double>(cc.outstanding) < cc.window) {
     ++cc.outstanding;
     launch_unit(unit);
@@ -102,7 +147,7 @@ void PacketSimulator::submit_unit(const core::TxUnit& unit) {
 void PacketSimulator::cc_unit_left(core::NodeId src, core::NodeId dst,
                                    bool success) {
   if (!cfg_.enable_congestion_control) return;
-  CcState& cc = cc_[{src, dst}];
+  PairState& cc = pair_state(src, dst);
   if (cc.outstanding > 0) --cc.outstanding;
   if (success) {
     cc.window = std::min(cfg_.cc_max_window, cc.window + 1.0 / cc.window);
@@ -134,155 +179,169 @@ void PacketSimulator::cc_unit_left(core::NodeId src, core::NodeId dst,
 
 std::size_t PacketSimulator::backlog_units() const {
   std::size_t total = 0;
-  for (const auto& [key, cc] : cc_) total += cc.backlog.size() - cc.next;
+  for (const PairState& ps : pairs_) total += ps.backlog.size() - ps.next;
   return total;
 }
 
 void PacketSimulator::launch_unit(const core::TxUnit& unit) {
-  UnitState st;
-  st.unit = unit;
-  st.path = select_path(unit);
-  if (st.path.arcs.empty()) {
+  const graph::Path* path = select_path(unit);
+  if (path == nullptr || path->arcs.empty()) {
     transports_[unit.src]->abandon_unit(unit.id);
     cc_unit_left(unit.src, unit.dst, /*success=*/false);
     return;
   }
-  units_[unit.id] = std::move(st);
+  const core::SlabHandle h = units_.acquire();
+  UnitState& st = *units_.get(h);
+  st.unit = unit;
+  st.path = path;
+  st.hop = 0;
+  st.htlcs.clear();  // recycled slot may hold the previous tenant's
+  payment_units_[unit.id.payment][unit.id.seq] = h.packed();
   ++metrics_.units_sent;
-  advance(unit.id);
+  advance(h);
 }
 
-void PacketSimulator::advance(core::TxUnitId uid) {
-  auto it = units_.find(uid);
-  if (it == units_.end() || it->second.done) return;
-  UnitState& st = it->second;
-  const graph::ArcId arc = st.path.arcs[st.hop];
+void PacketSimulator::advance(core::SlabHandle h) {
+  UnitState* st = units_.get(h);
+  if (st == nullptr) return;
+  const graph::ArcId arc = st->path->arcs[st->hop];
   auto htlc = net_.channel(graph::edge_of(arc))
                   .offer_htlc(core::ChannelNetwork::arc_side(arc),
-                              st.unit.amount, st.unit.lock);
+                              st->unit.amount, st->unit.lock);
   if (!htlc) {
     // Dry channel: queue at this hop's router (paper Fig. 3).
     core::QueuedUnit qu;
-    qu.unit = uid;
-    qu.amount = st.unit.amount;
+    qu.unit = st->unit.id;
+    qu.amount = st->unit.amount;
     qu.remaining_payment =
-        transports_[st.unit.src]->remaining(uid.payment);
+        transports_[st->unit.src]->remaining(st->unit.id.payment);
     qu.enqueued = events_.now();
-    qu.deadline = st.unit.deadline;
-    routers_[graph_.tail(arc)].queue(arc).push(qu);
+    qu.deadline = st->unit.deadline;
+    routers_[graph_.tail(arc)].push_local(arc_local_[arc], qu);
+    ++total_queued_units_;
+    total_queued_amount_ += qu.amount;
     return;
   }
-  st.htlcs.push_back(*htlc);
-  events_.schedule_in(cfg_.hop_delay, [this, uid]() { reach_next_hop(uid); });
+  st->htlcs.push_back(*htlc);
+  events_.schedule_typed_in(cfg_.hop_delay, EventKind::kHopAdvance,
+                            h.packed());
 }
 
-void PacketSimulator::reach_next_hop(core::TxUnitId uid) {
-  auto it = units_.find(uid);
-  if (it == units_.end() || it->second.done) return;
-  UnitState& st = it->second;
-  ++st.hop;
-  if (st.hop == st.path.arcs.size()) {
-    unit_reached_destination(uid);
+void PacketSimulator::reach_next_hop(core::SlabHandle h) {
+  UnitState* st = units_.get(h);
+  if (st == nullptr) return;
+  ++st->hop;
+  if (st->hop == st->path->arcs.size()) {
+    unit_reached_destination(h);
   } else {
-    advance(uid);
+    advance(h);
   }
 }
 
-void PacketSimulator::unit_reached_destination(core::TxUnitId uid) {
-  auto it = units_.find(uid);
-  if (it == units_.end()) return;
-  const UnitState& st = it->second;
+void PacketSimulator::unit_reached_destination(core::SlabHandle h) {
+  const UnitState& st = *units_.get(h);
   // Receiver confirms (payment id + sequence number, §4.1); the ack
   // travels back to the sender in one aggregate delay.
   const TimePoint ack_delay =
-      cfg_.hop_delay * static_cast<double>(st.path.arcs.size());
-  events_.schedule_in(ack_delay, [this, uid]() {
-    auto uit = units_.find(uid);
-    if (uit == units_.end() || uit->second.done) return;
-    const core::NodeId src = uit->second.unit.src;
-    // confirm_unit returns no keys for late confirmations (the sender
-    // withholds them; the unit's locks fail via the expiry sweep) and
-    // for atomic payments still missing shares.
-    const auto releases =
-        transports_[src]->confirm_unit(uid, events_.now());
-    for (const core::KeyRelease& kr : releases) {
-      settle_unit(kr.unit, kr.key);
-    }
-  });
+      cfg_.hop_delay * static_cast<double>(st.path->arcs.size());
+  events_.schedule_typed_in(ack_delay, EventKind::kAck, h.packed());
+}
+
+void PacketSimulator::ack_unit(core::SlabHandle h) {
+  const UnitState* st = units_.get(h);
+  if (st == nullptr) return;  // unit already failed (e.g. expired)
+  // confirm_unit returns no keys for late confirmations (the sender
+  // withholds them; the unit's locks fail via the expiry sweep) and
+  // for atomic payments still missing shares.
+  const auto releases = transports_[st->unit.src]->confirm_unit(
+      st->unit.id, events_.now());
+  for (const core::KeyRelease& kr : releases) {
+    settle_unit(kr.unit, kr.key);
+  }
 }
 
 void PacketSimulator::settle_unit(core::TxUnitId uid, core::Preimage key) {
-  auto it = units_.find(uid);
-  if (it == units_.end() || it->second.done) return;
-  UnitState& st = it->second;
-  st.done = true;
+  const core::SlabHandle h = handle_of(uid);
+  UnitState* st = units_.get(h);
+  if (st == nullptr) return;
   // Settle every hop; funds become usable at each receiving side, so
   // service the queues that were waiting for them.
-  for (std::size_t i = 0; i < st.htlcs.size(); ++i) {
-    const graph::ArcId arc = st.path.arcs[i];
-    if (!net_.channel(graph::edge_of(arc)).settle_htlc(st.htlcs[i], key)) {
+  for (std::size_t i = 0; i < st->htlcs.size(); ++i) {
+    const graph::ArcId arc = st->path->arcs[i];
+    if (!net_.channel(graph::edge_of(arc)).settle_htlc(st->htlcs[i], key)) {
       throw std::logic_error("packet_sim: settle failed (bad key?)");
     }
   }
-  metrics_.delivered_volume += st.unit.amount;
-  const core::NodeId src = st.unit.src;
-  const core::NodeId dst = st.unit.dst;
+  metrics_.delivered_volume += st->unit.amount;
+  const core::NodeId src = st->unit.src;
+  const core::NodeId dst = st->unit.dst;
   const core::PaymentId pid = uid.payment;
   if (transports_[src]->remaining(pid) == 0) {
     metrics_.sum_completion_latency +=
         events_.now() - requests_[pid].arrival;
     metrics_.latency_hist.add(events_.now() - requests_[pid].arrival);
   }
-  const graph::Path path = st.path;  // copy: service may mutate units_
-  units_.erase(it);
+  // The path outlives the unit (owned by PairState); grab it before the
+  // slot is released -- servicing below may recycle the slot.
+  const graph::Path* path = st->path;
+  units_.release(h);
   cc_unit_left(src, dst, /*success=*/true);
-  for (const graph::ArcId arc : path.arcs) {
+  for (const graph::ArcId arc : path->arcs) {
     service_arc(graph::reverse(arc));
   }
 }
 
 void PacketSimulator::fail_unit(core::TxUnitId uid) {
-  auto it = units_.find(uid);
-  if (it == units_.end() || it->second.done) return;
-  UnitState& st = it->second;
-  st.done = true;
-  for (std::size_t i = 0; i < st.htlcs.size(); ++i) {
-    const graph::ArcId arc = st.path.arcs[i];
-    net_.channel(graph::edge_of(arc)).fail_htlc(st.htlcs[i]);
+  const core::SlabHandle h = handle_of(uid);
+  UnitState* st = units_.get(h);
+  if (st == nullptr) return;
+  for (std::size_t i = 0; i < st->htlcs.size(); ++i) {
+    const graph::ArcId arc = st->path->arcs[i];
+    net_.channel(graph::edge_of(arc)).fail_htlc(st->htlcs[i]);
   }
-  transports_[st.unit.src]->abandon_unit(uid);
-  const core::NodeId src = st.unit.src;
-  const core::NodeId dst = st.unit.dst;
-  const graph::Path path = st.path;
-  const std::size_t locked_hops = st.htlcs.size();
-  units_.erase(it);
+  transports_[st->unit.src]->abandon_unit(uid);
+  const core::NodeId src = st->unit.src;
+  const core::NodeId dst = st->unit.dst;
+  const graph::Path* path = st->path;
+  const std::size_t locked_hops = st->htlcs.size();
+  units_.release(h);
   cc_unit_left(src, dst, /*success=*/false);
   // Funds return to the offering sides; their sending direction frees up.
   for (std::size_t i = 0; i < locked_hops; ++i) {
-    service_arc(path.arcs[i]);
+    service_arc(path->arcs[i]);
   }
 }
 
 void PacketSimulator::service_arc(graph::ArcId a) {
   core::Router& router = routers_[graph_.tail(a)];
-  core::UnitQueue& q = router.queue(a);
-  while (const core::QueuedUnit* top = q.peek()) {
+  const std::size_t i = arc_local_[a];
+  while (const core::QueuedUnit* top = router.peek_local(i)) {
     const core::Amount avail = net_.available(a);
     if (avail < top->amount) break;  // policy head blocked; wait for funds
-    const core::QueuedUnit qu = *q.pop();
-    advance(qu.unit);
+    const core::QueuedUnit qu = *router.pop_local(i);
+    --total_queued_units_;
+    total_queued_amount_ -= qu.amount;
+    advance(handle_of(qu.unit));
   }
 }
 
 void PacketSimulator::sweep_expired() {
-  for (core::Router& r : routers_) {
-    for (const core::QueuedUnit& qu : r.drop_expired(events_.now())) {
-      fail_unit(qu.unit);
+  if (total_queued_units_ != 0) {
+    // Node-id order matters: failing a unit can push newly queued units
+    // into routers later in the scan, which this same sweep must see --
+    // exactly as a full walk over all routers would.
+    for (core::Router& r : routers_) {
+      if (r.queued_units() == 0) continue;  // O(1) skip
+      for (const core::QueuedUnit& qu : r.drop_expired(events_.now())) {
+        --total_queued_units_;
+        total_queued_amount_ -= qu.amount;
+        fail_unit(qu.unit);
+      }
     }
   }
   if (events_.now() + cfg_.expiry_sweep_interval <= cfg_.end_time) {
-    events_.schedule_in(cfg_.expiry_sweep_interval,
-                        [this]() { sweep_expired(); });
+    events_.schedule_typed_in(cfg_.expiry_sweep_interval,
+                              EventKind::kExpirySweep);
   }
 }
 
@@ -294,25 +353,42 @@ void PacketSimulator::sample_series() {
         core::to_units(net_.channel(e).imbalance()));
   }
   if (events_.now() + cfg_.series_bucket <= cfg_.end_time) {
-    events_.schedule_in(cfg_.series_bucket, [this]() { sample_series(); });
+    events_.schedule_typed_in(cfg_.series_bucket, EventKind::kSeriesSample);
   }
 }
 
 Metrics PacketSimulator::run() {
   if (ran_) throw std::logic_error("PacketSimulator: run called twice");
   ran_ = true;
+  payment_units_.resize(requests_.size());
   for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {
     const core::PaymentRequest& req = requests_[pid];
     if (req.arrival > cfg_.end_time) continue;
     ++metrics_.attempted;
     metrics_.attempted_volume += req.amount;
-    events_.schedule(req.arrival, [this, pid]() { arrive(pid); });
+    arrivals_.push_back(PendingArrival{req.arrival, 0, pid});
   }
-  events_.schedule(cfg_.expiry_sweep_interval, [this]() { sweep_expired(); });
+  // Sequence numbers in submission (pid) order, exactly as a loop of
+  // schedule_typed calls would have assigned them; then sort by fire
+  // order and keep just the head in the heap.
+  const std::uint64_t seq0 = events_.reserve_seqs(arrivals_.size());
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    arrivals_[i].seq = seq0 + i;
+  }
+  std::sort(arrivals_.begin(), arrivals_.end(),
+            [](const PendingArrival& x, const PendingArrival& y) {
+              if (x.time != y.time) return x.time < y.time;
+              return x.seq < y.seq;
+            });
+  if (!arrivals_.empty()) {
+    events_.schedule_typed_reserved(arrivals_[0].time, EventKind::kArrival,
+                                    arrivals_[0].seq, arrivals_[0].pid);
+  }
+  events_.schedule_typed(cfg_.expiry_sweep_interval, EventKind::kExpirySweep);
   if (cfg_.collect_series) {
     metrics_.series_bucket = cfg_.series_bucket;
     metrics_.channel_imbalance_series.assign(graph_.edge_count(), {});
-    events_.schedule(cfg_.series_bucket, [this]() { sample_series(); });
+    events_.schedule_typed(cfg_.series_bucket, EventKind::kSeriesSample);
   }
   events_.run_until(cfg_.end_time);
 

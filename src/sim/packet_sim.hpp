@@ -10,16 +10,27 @@
 // keys (per unit for non-atomic payments; all-at-once AMP style for
 // atomic payments), settling every hop.
 //
+// Hot-path substrate (PR 2): in-flight units live in a generation-
+// checked slab keyed by a one-word handle that rides inside the typed
+// event queue (no per-event allocation, no hash lookups per hop);
+// per-(src,dst) state -- candidate paths, round-robin cursor, AIMD
+// congestion window, host backlog -- lives in one dense table with
+// lazily built per-source rows; router queues are dense per-out-arc
+// vectors addressed by a precomputed arc -> local-index table; queued
+// unit/value totals are O(1) running counters, so the expiry sweep
+// touches only routers that actually queue units.
+//
 // Used by the architecture examples, the packet-vs-flow ablation bench,
 // and the end-to-end tests of core/ (channel, transport, router, htlc).
 
+#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/network.hpp"
 #include "core/router.hpp"
 #include "core/scheduler.hpp"
+#include "core/slab.hpp"
 #include "core/transport.hpp"
 #include "core/types.hpp"
 #include "graph/paths.hpp"
@@ -75,35 +86,57 @@ class PacketSimulator {
 
   [[nodiscard]] const core::ChannelNetwork& network() const { return net_; }
   [[nodiscard]] TimePoint now() const { return events_.now(); }
+  /// Discrete events executed so far (the unit of events/sec benches).
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_.processed();
+  }
 
-  /// Total value sitting in router queues right now.
-  [[nodiscard]] core::Amount queued_amount() const;
-  /// Total units sitting in router queues right now.
-  [[nodiscard]] std::size_t queued_units() const;
+  /// Total value sitting in router queues right now. O(1).
+  [[nodiscard]] core::Amount queued_amount() const {
+    return total_queued_amount_;
+  }
+  /// Total units sitting in router queues right now. O(1).
+  [[nodiscard]] std::size_t queued_units() const {
+    return total_queued_units_;
+  }
   /// Units waiting in host congestion-control backlogs right now.
   [[nodiscard]] std::size_t backlog_units() const;
 
  private:
+  /// One in-flight transaction unit; lives in the `units_` slab, keyed
+  /// by slab handle (the TxUnitId -> handle map is `payment_units_`).
   struct UnitState {
     core::TxUnit unit;
-    graph::Path path;
-    std::size_t hop = 0;                  // next arc index to traverse
-    std::vector<core::HtlcId> htlcs;      // one per completed offer
-    bool done = false;
-  };
-  struct UnitIdHash {
-    std::size_t operator()(const core::TxUnitId& u) const {
-      return std::hash<std::uint64_t>{}(u.payment * 0x100000001b3ull + u.seq);
-    }
+    const graph::Path* path = nullptr;  // into PairState::paths (stable)
+    std::size_t hop = 0;                // next arc index to traverse
+    std::vector<core::HtlcId> htlcs;    // one per completed offer
   };
 
-  struct CcState {
-    double window = 4.0;
+  /// All per-(src, dst) state: candidate paths, the round-robin cursor,
+  /// and the congestion-control window + backlog. Rows of `pair_rows_`
+  /// index into the `pairs_` deque (stable addresses).
+  struct PairState {
+    std::vector<graph::Path> paths;  // edge-disjoint candidates
+    bool paths_init = false;
+    std::size_t rr = 0;  // round-robin cursor over `paths`
+    // Congestion control (initialised on first submitted unit).
+    bool cc_init = false;
+    double window = 0.0;
     std::size_t outstanding = 0;
-    std::vector<core::TxUnit> backlog;  // FIFO via index
+    std::vector<core::TxUnit> backlog;  // FIFO via `next` index
     std::size_t next = 0;
     bool draining = false;
   };
+  static constexpr std::uint32_t kNoPair = ~std::uint32_t{0};
+
+  /// Typed-event sink registered with the EventQueue.
+  static void dispatch(void* ctx, EventKind kind, std::uint64_t a,
+                       std::uint64_t b);
+
+  [[nodiscard]] PairState& pair_state(core::NodeId src, core::NodeId dst);
+  /// Handle of an in-flight unit (stale after settle/fail -- the slab's
+  /// generation check turns late lookups into no-ops).
+  [[nodiscard]] core::SlabHandle handle_of(core::TxUnitId uid) const;
 
   void arrive(core::PaymentId pid);
   /// Admits a unit through congestion control (or directly when
@@ -113,11 +146,14 @@ class PacketSimulator {
   /// Called when a unit leaves the network (settled or failed); updates
   /// the AIMD window and drains the backlog.
   void cc_unit_left(core::NodeId src, core::NodeId dst, bool success);
-  graph::Path select_path(const core::TxUnit& unit);
+  /// Chosen candidate path for this unit; nullptr when no path exists.
+  const graph::Path* select_path(const core::TxUnit& unit);
   /// Tries to lock the next hop; queues at the router on dry channels.
-  void advance(core::TxUnitId uid);
-  void reach_next_hop(core::TxUnitId uid);
-  void unit_reached_destination(core::TxUnitId uid);
+  void advance(core::SlabHandle h);
+  void reach_next_hop(core::SlabHandle h);
+  void unit_reached_destination(core::SlabHandle h);
+  /// The receiver's confirmation reached the sender.
+  void ack_unit(core::SlabHandle h);
   void settle_unit(core::TxUnitId uid, core::Preimage key);
   void fail_unit(core::TxUnitId uid);
   void service_arc(graph::ArcId a);
@@ -133,11 +169,34 @@ class PacketSimulator {
   std::vector<core::PaymentRequest> requests_;
   std::vector<std::unique_ptr<core::Transport>> transports_;  // per node
   std::vector<core::Router> routers_;                         // per node
-  std::unordered_map<core::TxUnitId, UnitState, UnitIdHash> units_;
-  std::map<std::pair<core::NodeId, core::NodeId>, std::vector<graph::Path>>
-      path_cache_;
-  std::map<std::pair<core::NodeId, core::NodeId>, std::size_t> rr_counter_;
-  std::map<std::pair<core::NodeId, core::NodeId>, CcState> cc_;
+
+  /// Admitted arrivals sorted by (time, seq); only the next one sits in
+  /// the event heap at any moment (chained via reserved sequence
+  /// numbers, so the global event order is exactly as if all arrivals
+  /// had been scheduled up front).
+  struct PendingArrival {
+    TimePoint time;
+    std::uint64_t seq;
+    core::PaymentId pid;
+  };
+  std::vector<PendingArrival> arrivals_;
+  std::size_t next_arrival_ = 0;
+
+  core::Slab<UnitState> units_;  // in-flight units
+  /// payment_units_[pid][seq] = packed slab handle of that unit (0 when
+  /// never launched; stale once the unit left the network).
+  std::vector<std::vector<std::uint64_t>> payment_units_;
+  /// arc_local_[a] = index of arc `a` in tail(a)'s out-arc list.
+  std::vector<std::uint32_t> arc_local_;
+  /// pair_rows_[src][dst] = index into pairs_ (kNoPair when unused;
+  /// rows themselves are built lazily on a source's first payment).
+  std::vector<std::vector<std::uint32_t>> pair_rows_;
+  std::deque<PairState> pairs_;  // deque: stable addresses for paths
+
+  // O(1) running totals over all router queues.
+  std::size_t total_queued_units_ = 0;
+  core::Amount total_queued_amount_ = 0;
+
   Metrics metrics_;
   bool ran_ = false;
 };

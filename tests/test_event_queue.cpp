@@ -69,5 +69,106 @@ TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
   EXPECT_FALSE(q.run_next());
 }
 
+// ---- Typed-event engine (PR 2 substrate) ----
+
+/// Test dispatcher: records (kind, payload a) in firing order.
+struct Capture {
+  std::vector<std::pair<EventKind, std::uint64_t>> fired;
+  static void dispatch(void* ctx, EventKind kind, std::uint64_t a,
+                       std::uint64_t /*b*/) {
+    static_cast<Capture*>(ctx)->fired.emplace_back(kind, a);
+  }
+};
+
+TEST(EventQueue, TypedEventsFireInTimeOrderThroughDispatcher) {
+  EventQueue q;
+  Capture cap;
+  q.set_dispatcher(&Capture::dispatch, &cap);
+  q.schedule_typed(3.0, EventKind::kAck, 30);
+  q.schedule_typed(1.0, EventKind::kArrival, 10);
+  q.schedule_typed(2.0, EventKind::kHopAdvance, 20);
+  q.run_all();
+  ASSERT_EQ(cap.fired.size(), 3u);
+  EXPECT_EQ(cap.fired[0],
+            std::make_pair(EventKind::kArrival, std::uint64_t{10}));
+  EXPECT_EQ(cap.fired[1],
+            std::make_pair(EventKind::kHopAdvance, std::uint64_t{20}));
+  EXPECT_EQ(cap.fired[2], std::make_pair(EventKind::kAck, std::uint64_t{30}));
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, SameTimeFifoSurvivesMixedTypedAndCallbackEvents) {
+  // Regression for the typed-engine rewrite: both scheduling paths draw
+  // from one sequence counter, so same-time events of either flavour
+  // fire in exact insertion order.
+  EventQueue q;
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+    static void dispatch(void* ctx, EventKind, std::uint64_t a,
+                         std::uint64_t) {
+      static_cast<Ctx*>(ctx)->order->push_back(static_cast<int>(a));
+    }
+  } ctx{&order};
+  q.set_dispatcher(&Ctx::dispatch, &ctx);
+  q.schedule(1.0, [&]() { order.push_back(0); });
+  q.schedule_typed(1.0, EventKind::kArrival, 1);
+  q.schedule(1.0, [&]() { order.push_back(2); });
+  q.schedule_typed(1.0, EventKind::kAck, 3);
+  q.schedule_typed(1.0, EventKind::kExpirySweep, 4);
+  q.schedule(1.0, [&]() { order.push_back(5); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, TypedPastSchedulingThrows) {
+  EventQueue q;
+  Capture cap;
+  q.set_dispatcher(&Capture::dispatch, &cap);
+  q.schedule_typed(2.0, EventKind::kArrival);
+  q.run_all();
+  EXPECT_THROW(q.schedule_typed(1.0, EventKind::kArrival),
+               std::invalid_argument);
+  const std::uint64_t seq = q.reserve_seqs(1);
+  EXPECT_THROW(q.schedule_typed_reserved(1.0, EventKind::kArrival, seq),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, CallbackKindIsInternal) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_typed(1.0, EventKind::kCallback),
+               std::invalid_argument);
+  const std::uint64_t seq = q.reserve_seqs(1);
+  EXPECT_THROW(q.schedule_typed_reserved(1.0, EventKind::kCallback, seq),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, TypedEventWithoutDispatcherThrows) {
+  EventQueue q;
+  q.schedule_typed(1.0, EventKind::kArrival);
+  EXPECT_THROW(q.run_all(), std::logic_error);
+}
+
+TEST(EventQueue, ReservedSequencesOrderLikeUpfrontScheduling) {
+  // reserve_seqs hands out the same sequence numbers a loop of
+  // schedule_typed calls would have used; pushing the events later (or
+  // out of push order) must not change the firing order.
+  EventQueue q;
+  Capture cap;
+  q.set_dispatcher(&Capture::dispatch, &cap);
+  const std::uint64_t seq0 = q.reserve_seqs(3);
+  // Push in reverse: firing order must still follow the reserved seqs.
+  q.schedule_typed_reserved(1.0, EventKind::kArrival, seq0 + 2, 2);
+  q.schedule_typed_reserved(1.0, EventKind::kArrival, seq0 + 1, 1);
+  q.schedule_typed_reserved(1.0, EventKind::kArrival, seq0, 0);
+  // A typed event scheduled after the reservation draws a later seq.
+  q.schedule_typed(1.0, EventKind::kAck, 3);
+  q.run_all();
+  ASSERT_EQ(cap.fired.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cap.fired[i].second, i);
+  }
+}
+
 }  // namespace
 }  // namespace spider::sim

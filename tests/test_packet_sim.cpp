@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "graph/topology.hpp"
 
 namespace spider::sim {
@@ -213,6 +215,97 @@ TEST(PacketSim, CongestionControlHandlesUnroutablePairs) {
   const Metrics m = sim.run();
   EXPECT_EQ(m.failed, 1u);
   EXPECT_EQ(sim.backlog_units(), 0u);
+}
+
+TEST(PacketSim, CongestionControlAbandonsExpiredBacklogUnits) {
+  // The backlog drain skips units whose deadline already passed (the
+  // abandon_unit branch of cc_unit_left): they are written off without
+  // ever being launched.
+  //
+  // Setup: a warm-up payment drains the 0->1 direction, so the probe
+  // payment's first unit queues at the router, expires, and is failed by
+  // the sweep -- whose cc_unit_left call drains the backlog *after* the
+  // probe's deadline. Its two backlogged units must be abandoned, not
+  // launched.
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimConfig cfg;
+  cfg.end_time = 10;
+  cfg.mtu = from_units(10);
+  cfg.enable_congestion_control = true;
+  cfg.cc_initial_window = 1.0;
+  cfg.cc_max_window = 1.0;  // clamp: keep the pair serialized
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  // Warm-up: moves all 50 available units of the 0->1 direction.
+  sim.submit(payment(0, 1, 50, 0.5, PaymentKind::kNonAtomic));
+  // Probe: 3 units, deadline 2.0. Unit 1 queues at the dry router; units
+  // 2 and 3 sit in the backlog behind the window of 1.
+  sim.submit(payment(0, 1, 30, 1.5, PaymentKind::kNonAtomic,
+                     /*deadline=*/2.0));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);  // warm-up
+  EXPECT_EQ(m.failed, 1u);     // probe delivered nothing
+  // 5 warm-up units + the probe's first unit; the backlogged units were
+  // abandoned without a launch.
+  EXPECT_EQ(m.units_sent, 6u);
+  EXPECT_EQ(sim.backlog_units(), 0u);
+  EXPECT_EQ(sim.queued_units(), 0u);
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, CongestionControlHalvesWindowOnSynchronousNoRouteFailure) {
+  // A launched unit can fail before any event fires (select_path finds
+  // no route). That failure re-enters cc_unit_left from inside the
+  // backlog drain: the window halves down to its floor of 1 and the
+  // `draining` guard turns the cascade into a loop instead of
+  // recursion. Every unit must be written off synchronously during the
+  // arrival -- none launched, backlog left empty.
+  graph::Graph g(3);
+  g.add_edge(0, 1);  // node 2 unreachable
+  PacketSimConfig cfg;
+  cfg.end_time = 20;
+  cfg.mtu = from_units(1);
+  cfg.enable_congestion_control = true;
+  cfg.cc_initial_window = 8.0;
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  // 500 units: deep enough that un-guarded recursion through the drain
+  // would be a real stack hazard.
+  sim.submit(payment(0, 2, 500, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.failed, 1u);
+  EXPECT_EQ(m.delivered_volume, 0);
+  EXPECT_EQ(m.units_sent, 0u);  // no-route units never enter the network
+  EXPECT_EQ(sim.backlog_units(), 0u);
+}
+
+TEST(PacketSim, RoundRobinPathSelectionIsDeterministic) {
+  // Same seed, same workload -> bit-identical metrics. Guards the dense
+  // per-pair table (round-robin cursors included) against any iteration-
+  // order dependence the old std::map keyed state could have hidden.
+  const auto run_once = []() {
+    const graph::Graph g = graph::topology::make_isp32();
+    PacketSimConfig cfg;
+    cfg.end_time = 25;
+    cfg.mtu = from_units(5);
+    cfg.path_policy = UnitPathPolicy::kRoundRobin;
+    cfg.enable_congestion_control = true;
+    cfg.seed = 7;
+    PacketSimulator sim(
+        g, std::vector<Amount>(g.edge_count(), from_units(80)), cfg);
+    for (int i = 0; i < 120; ++i) {
+      sim.submit(payment(static_cast<core::NodeId>(i % 32),
+                         static_cast<core::NodeId>((i * 7 + 3) % 32),
+                         2.0 + (i % 13), 0.1 * i, PaymentKind::kNonAtomic,
+                         /*deadline=*/0.1 * i + 10.0));
+    }
+    const Metrics m = sim.run();
+    return std::tuple(m.succeeded, m.partial, m.failed, m.delivered_volume,
+                      m.completed_volume, m.units_sent,
+                      m.sum_completion_latency, sim.events_processed());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::get<0>(a), 0u);  // the workload actually exercises paths
 }
 
 TEST(PacketSim, ConservationUnderLoad) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 namespace spider::core {
 namespace {
 
@@ -16,32 +19,54 @@ QueuedUnit unit(PaymentId pid, Amount amount, TimePoint enq,
   return u;
 }
 
-TEST(Router, QueuesCreatedOnDemandPerArc) {
+TEST(Router, BindCreatesOneQueuePerArc) {
   Router r(3, SchedulingPolicy::kFifo);
   EXPECT_EQ(r.id(), 3u);
   EXPECT_EQ(r.policy(), SchedulingPolicy::kFifo);
+  EXPECT_EQ(r.arc_count(), 0u);
   EXPECT_EQ(r.find_queue(4), nullptr);
-  r.queue(4).push(unit(1, 100, 1.0));
+
+  const std::vector<graph::ArcId> arcs{2, 4, 9};
+  r.bind(arcs);
+  EXPECT_EQ(r.arc_count(), 3u);
   ASSERT_NE(r.find_queue(4), nullptr);
+  EXPECT_EQ(r.find_queue(4)->size(), 0u);
+  // The queues inherit the router's policy; unbound arcs have none.
+  EXPECT_EQ(r.find_queue(4)->policy(), SchedulingPolicy::kFifo);
+  EXPECT_EQ(r.find_queue(3), nullptr);
+
+  EXPECT_EQ(r.local_index(2), 0u);
+  EXPECT_EQ(r.local_index(4), 1u);
+  EXPECT_EQ(r.local_index(9), 2u);
+  EXPECT_EQ(r.local_index(5), Router::npos);
+
+  r.push(4, unit(1, 100, 1.0));
   EXPECT_EQ(r.find_queue(4)->size(), 1u);
-  // The queue inherits the router's policy.
-  EXPECT_EQ(r.queue(4).policy(), SchedulingPolicy::kFifo);
+  EXPECT_THROW(r.push(5, unit(2, 10, 1.0)), std::out_of_range);
 }
 
-TEST(Router, AggregatesAcrossArcs) {
+TEST(Router, AggregatesAcrossArcsInConstantTimeCounters) {
   Router r(0, SchedulingPolicy::kSrpt);
-  r.queue(0).push(unit(1, 100, 1.0));
-  r.queue(0).push(unit(2, 50, 2.0));
-  r.queue(2).push(unit(3, 25, 3.0));
+  r.bind(std::vector<graph::ArcId>{0, 2});
+  r.push(0, unit(1, 100, 1.0));
+  r.push(0, unit(2, 50, 2.0));
+  r.push(2, unit(3, 25, 3.0));
   EXPECT_EQ(r.queued_units(), 3u);
   EXPECT_EQ(r.queued_amount(), 175);
+  // Counters follow pops too.
+  EXPECT_TRUE(r.pop(2).has_value());
+  EXPECT_EQ(r.queued_units(), 2u);
+  EXPECT_EQ(r.queued_amount(), 150);
+  EXPECT_FALSE(r.pop(2).has_value());  // empty queue: counters untouched
+  EXPECT_EQ(r.queued_units(), 2u);
 }
 
 TEST(Router, DropExpiredSpansAllQueues) {
   Router r(0, SchedulingPolicy::kFifo);
-  r.queue(0).push(unit(1, 10, 1.0, /*deadline=*/5.0));
-  r.queue(2).push(unit(2, 20, 1.0, /*deadline=*/3.0));
-  r.queue(2).push(unit(3, 30, 1.0, /*deadline=*/50.0));
+  r.bind(std::vector<graph::ArcId>{0, 2});
+  r.push(0, unit(1, 10, 1.0, /*deadline=*/5.0));
+  r.push(2, unit(2, 20, 1.0, /*deadline=*/3.0));
+  r.push(2, unit(3, 30, 1.0, /*deadline=*/50.0));
   const auto expired = r.drop_expired(10.0);
   ASSERT_EQ(expired.size(), 2u);
   EXPECT_EQ(r.queued_units(), 1u);
@@ -50,10 +75,23 @@ TEST(Router, DropExpiredSpansAllQueues) {
 
 TEST(Router, SrptRouterServicesSmallestFirst) {
   Router r(0, SchedulingPolicy::kSrpt);
-  r.queue(0).push(unit(1, 100, 1.0));
-  r.queue(0).push(unit(2, 10, 2.0));
-  EXPECT_EQ(r.queue(0).pop()->unit.payment, 2u);
-  EXPECT_EQ(r.queue(0).pop()->unit.payment, 1u);
+  r.bind(std::vector<graph::ArcId>{0});
+  r.push(0, unit(1, 100, 1.0));
+  r.push(0, unit(2, 10, 2.0));
+  ASSERT_NE(r.peek(0), nullptr);
+  EXPECT_EQ(r.peek(0)->unit.payment, 2u);
+  EXPECT_EQ(r.pop(0)->unit.payment, 2u);
+  EXPECT_EQ(r.pop(0)->unit.payment, 1u);
+}
+
+TEST(Router, LocalIndexVariantsMatchByArcCalls) {
+  Router r(0, SchedulingPolicy::kFifo);
+  r.bind(std::vector<graph::ArcId>{6, 8});
+  r.push_local(1, unit(1, 40, 1.0));
+  EXPECT_EQ(r.peek(8), r.peek_local(1));
+  EXPECT_EQ(r.queued_amount(), 40);
+  EXPECT_EQ(r.pop_local(1)->unit.payment, 1u);
+  EXPECT_EQ(r.queued_units(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+#include "core/slab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace spider::core {
+namespace {
+
+TEST(Slab, AcquireGetRelease) {
+  Slab<int> slab;
+  const SlabHandle h = slab.acquire();
+  ASSERT_NE(slab.get(h), nullptr);
+  *slab.get(h) = 42;
+  EXPECT_EQ(*slab.get(h), 42);
+  EXPECT_EQ(slab.live(), 1u);
+  slab.release(h);
+  EXPECT_EQ(slab.live(), 0u);
+  EXPECT_EQ(slab.get(h), nullptr);  // stale after release
+}
+
+TEST(Slab, GenerationCheckCatchesRecycledSlot) {
+  Slab<int> slab;
+  const SlabHandle h1 = slab.acquire();
+  slab.release(h1);
+  const SlabHandle h2 = slab.acquire();  // recycles the same index
+  EXPECT_EQ(h2.index, h1.index);
+  EXPECT_NE(h2.gen, h1.gen);
+  EXPECT_EQ(slab.get(h1), nullptr);  // old handle stays dead
+  EXPECT_NE(slab.get(h2), nullptr);
+  EXPECT_EQ(slab.capacity(), 1u);  // no new slot was created
+}
+
+TEST(Slab, ReleaseIsIdempotentOnStaleHandles) {
+  Slab<int> slab;
+  const SlabHandle h = slab.acquire();
+  slab.release(h);
+  slab.release(h);  // no-op, must not double-free
+  EXPECT_EQ(slab.live(), 0u);
+  EXPECT_EQ(slab.get(SlabHandle{}), nullptr);  // default handle never live
+}
+
+TEST(Slab, PackedHandleRoundTrips) {
+  Slab<int> slab;
+  slab.release(slab.acquire());  // bump the generation past 1
+  const SlabHandle h = slab.acquire();
+  const SlabHandle back = SlabHandle::unpack(h.packed());
+  EXPECT_EQ(back, h);
+  EXPECT_NE(h.packed(), 0u);  // 0 is reserved for "no handle"
+  EXPECT_EQ(slab.get(SlabHandle::unpack(0)), nullptr);
+}
+
+TEST(Slab, RecycledSlotKeepsValueCapacity) {
+  Slab<std::vector<int>> slab;
+  const SlabHandle h1 = slab.acquire();
+  slab.get(h1)->assign(100, 7);
+  slab.release(h1);
+  const SlabHandle h2 = slab.acquire();
+  // The previous tenant's vector (and its heap buffer) is still there;
+  // callers reset what they use.
+  EXPECT_GE(slab.get(h2)->capacity(), 100u);
+  slab.get(h2)->clear();
+  EXPECT_TRUE(slab.get(h2)->empty());
+}
+
+TEST(Slab, AddressesStableAcrossGrowth) {
+  Slab<std::string> slab;
+  std::vector<SlabHandle> handles;
+  std::vector<std::string*> addrs;
+  // Cross several chunk boundaries (chunks hold 1024 slots).
+  for (int i = 0; i < 5000; ++i) {
+    const SlabHandle h = slab.acquire();
+    *slab.get(h) = std::to_string(i);
+    handles.push_back(h);
+    addrs.push_back(slab.get(h));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(slab.get(handles[i]), addrs[i]);  // growth never moved it
+    EXPECT_EQ(*slab.get(handles[i]), std::to_string(i));
+  }
+  EXPECT_EQ(slab.live(), 5000u);
+}
+
+TEST(Slab, ReservePreallocatesWithoutCreatingSlots) {
+  Slab<int> slab;
+  slab.reserve(3000);
+  EXPECT_EQ(slab.live(), 0u);
+  EXPECT_EQ(slab.capacity(), 0u);  // slots exist only once acquired
+  const SlabHandle h = slab.acquire();
+  EXPECT_EQ(h.index, 0u);
+  EXPECT_EQ(slab.capacity(), 1u);
+}
+
+}  // namespace
+}  // namespace spider::core
