@@ -37,6 +37,7 @@ struct CliOptions {
   std::size_t txns = 0;
   std::uint64_t base_seed = 0;
   bool collect_series = false;
+  bool audit = false;
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -59,7 +60,8 @@ std::vector<std::string> split_csv(const std::string& s) {
       stderr,
       "usage: %s [--sweep tiny|fig6|fig7] [--threads N] [--json PATH]\n"
       "          [--csv PATH] [--schemes a,b,...] [--topologies a,b,...]\n"
-      "          [--seeds K] [--txns N] [--base-seed S] [--series]\n",
+      "          [--seeds K] [--txns N] [--base-seed S] [--series]\n"
+      "          [--audit]\n",
       argv0);
   std::exit(2);
 }
@@ -91,6 +93,8 @@ CliOptions parse(int argc, char** argv) {
       opt.base_seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (std::strcmp(argv[i], "--series") == 0) {
       opt.collect_series = true;
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      opt.audit = true;
     } else {
       usage(argv[0]);
     }
@@ -133,11 +137,13 @@ int run(int argc, char** argv) {
   if (opt.txns > 0) cfg.txns = opt.txns;
   if (opt.base_seed > 0) cfg.base_seed = opt.base_seed;
   cfg.collect_series = opt.collect_series;
+  cfg.audit = opt.audit;
 
   const exp::Runner runner(opt.threads);
   const std::vector<exp::TrialSpec> trials = exp::make_trials(cfg);
-  std::printf("sweep %s: %zu trials on %zu threads\n", cfg.name.c_str(),
-              trials.size(), runner.threads());
+  std::printf("sweep %s: %zu trials on %zu threads%s\n", cfg.name.c_str(),
+              trials.size(), runner.threads(),
+              cfg.audit ? " (invariant audit on)" : "");
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<exp::TrialResult> results =

@@ -110,7 +110,8 @@ class Blockchain {
   TxId next_id_ = 1;
   std::vector<Transaction> mempool_;
   std::vector<Block> blocks_;
-  std::unordered_map<TxId, TimePoint> confirmed_;
+  // Keyed lookups only (contains/find/emplace), never iterated.
+  std::unordered_map<TxId, TimePoint> confirmed_;  // spider-lint: allow(unordered-container)
   Amount total_fees_ = 0;
 };
 

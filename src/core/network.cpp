@@ -58,6 +58,7 @@ std::optional<RouteLock> ChannelNetwork::lock_route_with_fees(
   rl.amount = amounts.back();  // value delivered to the destination
   rl.lock = lock;
   rl.htlcs.reserve(path.arcs.size());
+  for (const Amount a : amounts) rl.total_held += a;
   for (std::size_t i = 0; i < path.arcs.size(); ++i) {
     const ArcId a = path.arcs[i];
     auto id = channels_[graph::edge_of(a)].offer_htlc(arc_side(a),

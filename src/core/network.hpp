@@ -23,6 +23,10 @@ struct RouteLock {
   Amount amount = 0;
   std::vector<HtlcId> htlcs;  // one per arc of `path`
   LockHash lock = 0;
+  /// Total value held across all hops (sum of per-hop lock amounts,
+  /// including fees). What settle/fail releases; audited against the
+  /// channels' pending totals by sim::InvariantAuditor.
+  Amount total_held = 0;
 };
 
 class ChannelNetwork {

@@ -6,6 +6,7 @@
 
 #include "graph/topology.hpp"
 #include "schemes/schemes.hpp"
+#include "sim/audit.hpp"
 #include "sim/flow_sim.hpp"
 #include "workload/workload.hpp"
 
@@ -58,6 +59,7 @@ TrialResult run_trial(const TrialSpec& spec) {
       workload::estimate_demand(g.node_count(), trace, spec.end_time);
 
   const auto scheme = schemes::make_scheme(spec.scheme);
+  sim::InvariantAuditor auditor;
   sim::FlowSimConfig cfg;
   cfg.end_time = spec.end_time;
   cfg.delta = spec.delta;
@@ -65,6 +67,7 @@ TrialResult run_trial(const TrialSpec& spec) {
   cfg.retry_policy = spec.retry_policy;
   cfg.collect_series = spec.collect_series;
   cfg.series_bucket = spec.series_bucket;
+  if (spec.audit) cfg.auditor = &auditor;
   sim::FlowSimulator fs(
       g,
       std::vector<core::Amount>(g.edge_count(),
@@ -85,6 +88,10 @@ TrialResult run_trial(const TrialSpec& spec) {
   TrialResult r;
   r.spec = spec;
   r.metrics = fs.run(demand);
+  if (spec.audit && !auditor.ok()) {
+    throw std::runtime_error("trial " + spec.scheme + "/" + spec.topology +
+                             " failed invariant audit: " + auditor.summary());
+  }
   r.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -122,6 +129,7 @@ std::vector<TrialSpec> make_trials(const SweepConfig& cfg) {
           t.max_retries_per_poll = cfg.max_retries_per_poll;
           t.collect_series = cfg.collect_series;
           t.series_bucket = cfg.series_bucket;
+          t.audit = cfg.audit;
           trials.push_back(std::move(t));
         }
       }
@@ -167,16 +175,30 @@ std::string sweep_report_csv(const std::vector<TrialResult>& results) {
       "scheme,topology,workload,seed_index,workload_seed,txns,end_time,"
       "capacity_units,retry_policy,wall_seconds," +
       report::metrics_csv_header() + "\n";
+  // Append in place: a `a + b + c` chain allocates a temporary per `+`.
   for (const TrialResult& r : results) {
-    out += r.spec.scheme + "," + r.spec.topology + "," + r.spec.workload +
-           "," + std::to_string(r.spec.seed_index) + "," +
-           std::to_string(r.spec.workload_seed) + "," +
-           std::to_string(r.spec.txns) + "," +
-           std::to_string(r.spec.end_time) + "," +
-           std::to_string(r.spec.capacity_units) + "," +
-           core::to_string(r.spec.retry_policy) + "," +
-           std::to_string(r.wall_seconds) + "," +
-           report::metrics_csv_row(r.metrics) + "\n";
+    out += r.spec.scheme;
+    out += ',';
+    out += r.spec.topology;
+    out += ',';
+    out += r.spec.workload;
+    out += ',';
+    out += std::to_string(r.spec.seed_index);
+    out += ',';
+    out += std::to_string(r.spec.workload_seed);
+    out += ',';
+    out += std::to_string(r.spec.txns);
+    out += ',';
+    out += std::to_string(r.spec.end_time);
+    out += ',';
+    out += std::to_string(r.spec.capacity_units);
+    out += ',';
+    out += core::to_string(r.spec.retry_policy);
+    out += ',';
+    out += std::to_string(r.wall_seconds);
+    out += ',';
+    out += report::metrics_csv_row(r.metrics);
+    out += '\n';
   }
   return out;
 }

@@ -43,6 +43,10 @@ struct TrialSpec {
   double deadline_offset = 0.0;
   bool collect_series = false;
   double series_bucket = 5.0;
+  /// Run the trial under a sim::InvariantAuditor (conservation, queue
+  /// counters, monotone time; see sim/audit.hpp) and throw on any
+  /// violation. Observation-only: metrics are unchanged.
+  bool audit = false;
 };
 
 struct TrialResult {
@@ -84,6 +88,8 @@ struct SweepConfig {
   std::size_t max_retries_per_poll = 2000;
   bool collect_series = false;
   double series_bucket = 5.0;
+  /// Audit every trial (TrialSpec::audit).
+  bool audit = false;
 };
 
 [[nodiscard]] std::vector<TrialSpec> make_trials(const SweepConfig& cfg);

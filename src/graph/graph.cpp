@@ -8,7 +8,8 @@ namespace spider::graph {
 bool Path::valid(const Graph& g) const {
   if (source == kInvalidNode || source >= g.node_count()) return false;
   NodeId at = source;
-  std::unordered_set<EdgeId> used;
+  // Membership-only duplicate check, never iterated.
+  std::unordered_set<EdgeId> used;  // spider-lint: allow(unordered-container)
   used.reserve(arcs.size());
   for (const ArcId a : arcs) {
     if (a >= g.arc_count()) return false;

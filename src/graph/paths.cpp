@@ -6,7 +6,6 @@
 #include <queue>
 #include <set>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace spider::graph {
 

@@ -110,6 +110,7 @@ bool EventQueue::run_next() {
     }
     dispatcher_(dispatcher_ctx_, ev.kind(), ev.a, ev.b);
   }
+  if (post_hook_ != nullptr) post_hook_(post_hook_ctx_, now_, processed_);
   return true;
 }
 

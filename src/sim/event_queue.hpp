@@ -54,6 +54,17 @@ class EventQueue {
     dispatcher_ctx_ = ctx;
   }
 
+  /// Post-event hook: called after every executed event with the
+  /// advanced clock and the processed-event count. Used by the opt-in
+  /// InvariantAuditor (sim/audit.hpp); when unset the cost is one
+  /// predictable branch per event. The hook must not schedule events.
+  using PostEventHook = void (*)(void* ctx, TimePoint now,
+                                 std::uint64_t processed);
+  void set_post_event_hook(PostEventHook fn, void* ctx) {
+    post_hook_ = fn;
+    post_hook_ctx_ = ctx;
+  }
+
   /// Schedules a typed event at absolute time `t` (must be >= now(),
   /// throws std::invalid_argument otherwise). Zero allocation.
   void schedule_typed(TimePoint t, EventKind kind, std::uint64_t a = 0,
@@ -150,6 +161,8 @@ class EventQueue {
 
   Dispatcher dispatcher_ = nullptr;
   void* dispatcher_ctx_ = nullptr;
+  PostEventHook post_hook_ = nullptr;
+  void* post_hook_ctx_ = nullptr;
 };
 
 }  // namespace spider::sim

@@ -1,8 +1,11 @@
 #include "sim/flow_sim.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "sim/audit.hpp"
 
 namespace spider::sim {
 
@@ -36,7 +39,9 @@ void FlowSimulator::add_payment(const PaymentRequest& req) {
       req.src == req.dst || req.amount <= 0) {
     throw std::invalid_argument("FlowSimulator: malformed payment request");
   }
-  payments_.push_back(PaymentState{req, 0, 0, false, false});
+  // Positional init would silently convert a bool into the Amount
+  // `fees_paid` slot if the member order ever changed.
+  payments_.push_back(PaymentState{.req = req});
 }
 
 void FlowSimulator::record_series(core::Amount amount) {
@@ -145,6 +150,7 @@ void FlowSimulator::send(core::PaymentId pid, core::Amount amt,
                          core::RouteLock&& lock, core::Preimage key) {
   PaymentState& st = payments_[pid];
   st.inflight += amt;
+  held_amount_ += lock.total_held;
   ++metrics_.units_sent;
   events_.schedule_in(cfg_.delta,
                       [this, pid, rl = std::move(lock), key]() {
@@ -157,6 +163,7 @@ void FlowSimulator::complete(core::PaymentId pid, const core::RouteLock& rl,
   // The simulator is both every sender and every receiver, so it settles
   // each route with the preimage it generated at lock time.
   net_.settle_route(rl, key);
+  held_amount_ -= rl.total_held;
   PaymentState& st = payments_[pid];
   st.inflight -= rl.amount;
   st.delivered += rl.amount;
@@ -198,6 +205,9 @@ void FlowSimulator::rebalance_sweep() {
       metrics_.rebalanced_volume += top_up;
       events_.schedule_in(cfg_.rebalance_delay, [this, e, side, top_up]() {
         net_.channel(e).deposit(side, top_up);
+        if (cfg_.auditor != nullptr) {
+          cfg_.auditor->note_external_deposit(top_up);
+        }
       });
     }
   }
@@ -212,6 +222,7 @@ void FlowSimulator::poll() {
   const std::size_t budget =
       cfg_.max_retries_per_poll == 0 ? retry_queue_.size()
                                      : cfg_.max_retries_per_poll;
+  batch.reserve(std::min(budget, retry_queue_.size()));
   // Pop in policy order; re-add incomplete payments afterwards.
   while (batch.size() < budget) {
     auto qu = retry_queue_.pop();
@@ -232,9 +243,32 @@ void FlowSimulator::poll() {
   }
 }
 
+void FlowSimulator::arm_auditor() {
+  InvariantAuditor& a = *cfg_.auditor;
+  a.attach_network(net_);
+  a.set_claimed_holds_provider([this] { return held_amount_; });
+  a.add_check("retry-queue", [this]() -> std::optional<std::string> {
+    std::size_t enqueued = 0;
+    for (const PaymentState& st : payments_) {
+      if (st.enqueued) ++enqueued;
+    }
+    if (enqueued == retry_queue_.size()) return std::nullopt;
+    std::ostringstream os;
+    os << enqueued << " payments flagged enqueued, retry queue holds "
+       << retry_queue_.size();
+    return os.str();
+  });
+  events_.set_post_event_hook(
+      [](void* ctx, TimePoint now, std::uint64_t processed) {
+        static_cast<InvariantAuditor*>(ctx)->on_event(now, processed);
+      },
+      &a);
+}
+
 Metrics FlowSimulator::run(const fluid::PaymentGraph& demand_estimate) {
   if (ran_) throw std::logic_error("FlowSimulator: run called twice");
   ran_ = true;
+  if (cfg_.auditor != nullptr) arm_auditor();
   scheme_.prepare(graph_, capacity_, demand_estimate, cfg_.delta);
   metrics_.series_bucket = cfg_.series_bucket;
 
@@ -254,6 +288,9 @@ Metrics FlowSimulator::run(const fluid::PaymentGraph& demand_estimate) {
     events_.schedule(cfg_.rebalance_interval, [this]() { rebalance_sweep(); });
   }
   events_.run_until(cfg_.end_time);
+  if (cfg_.auditor != nullptr) {
+    cfg_.auditor->finish(events_.now(), events_.processed());
+  }
 
   for (const PaymentState& st : payments_) {
     if (st.req.arrival > cfg_.end_time) continue;

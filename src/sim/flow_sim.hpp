@@ -28,6 +28,8 @@
 
 namespace spider::sim {
 
+class InvariantAuditor;  // sim/audit.hpp
+
 struct FlowSimConfig {
   /// Simulation horizon; results are collected at this time (paper: 200 s
   /// for the ISP topology, 85 s for Ripple).
@@ -64,6 +66,13 @@ struct FlowSimConfig {
   /// intermediate hop keeps its cut on settle, and paths whose cumulative
   /// fees would exceed the payment's `max_fee` are not used.
   core::FeePolicy fee_policy;
+
+  /// Optional runtime invariant auditor (sim/audit.hpp). When set, the
+  /// simulator attaches it to its network at run() start, registers the
+  /// retry-queue consistency check, reports rebalancing deposits, and
+  /// drives it from the event loop. Observation-only: metrics are
+  /// byte-identical either way. Must outlive run().
+  InvariantAuditor* auditor = nullptr;
 };
 
 class FlowSimulator {
@@ -111,6 +120,9 @@ class FlowSimulator {
   void enqueue_retry(core::PaymentId pid);
   void record_series(core::Amount amount);
   void sample_series();
+  /// Registers the auditor's network binding and the flow-sim specific
+  /// retry-queue consistency check.
+  void arm_auditor();
 
   const graph::Graph& graph_;
   std::vector<core::Amount> capacity_;
@@ -122,6 +134,10 @@ class FlowSimulator {
   std::vector<PaymentState> payments_;
   core::UnitQueue retry_queue_;
   core::Preimage next_key_ = 1;
+  /// Value this simulator believes is locked in live route locks (sum
+  /// of RouteLock::total_held between send and complete); the auditor
+  /// cross-checks it against the channels' pending totals.
+  core::Amount held_amount_ = 0;
   Metrics metrics_;
   bool ran_ = false;
 };

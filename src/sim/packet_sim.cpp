@@ -1,7 +1,10 @@
 #include "sim/packet_sim.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
+
+#include "sim/audit.hpp"
 
 namespace spider::sim {
 
@@ -223,6 +226,7 @@ void PacketSimulator::advance(core::SlabHandle h) {
     return;
   }
   st->htlcs.push_back(*htlc);
+  held_amount_ += st->unit.amount;
   events_.schedule_typed_in(cfg_.hop_delay, EventKind::kHopAdvance,
                             h.packed());
 }
@@ -272,6 +276,8 @@ void PacketSimulator::settle_unit(core::TxUnitId uid, core::Preimage key) {
       throw std::logic_error("packet_sim: settle failed (bad key?)");
     }
   }
+  held_amount_ -=
+      st->unit.amount * static_cast<core::Amount>(st->htlcs.size());
   metrics_.delivered_volume += st->unit.amount;
   const core::NodeId src = st->unit.src;
   const core::NodeId dst = st->unit.dst;
@@ -299,6 +305,8 @@ void PacketSimulator::fail_unit(core::TxUnitId uid) {
     const graph::ArcId arc = st->path->arcs[i];
     net_.channel(graph::edge_of(arc)).fail_htlc(st->htlcs[i]);
   }
+  held_amount_ -=
+      st->unit.amount * static_cast<core::Amount>(st->htlcs.size());
   transports_[st->unit.src]->abandon_unit(uid);
   const core::NodeId src = st->unit.src;
   const core::NodeId dst = st->unit.dst;
@@ -357,9 +365,54 @@ void PacketSimulator::sample_series() {
   }
 }
 
+void PacketSimulator::arm_auditor() {
+  InvariantAuditor& a = *cfg_.auditor;
+  a.attach_network(net_);
+  a.set_claimed_holds_provider([this] { return held_amount_; });
+  a.add_check("queue-counters", [this] { return audit_queue_counters(); });
+  events_.set_post_event_hook(
+      [](void* ctx, TimePoint now, std::uint64_t processed) {
+        static_cast<InvariantAuditor*>(ctx)->on_event(now, processed);
+      },
+      &a);
+}
+
+std::optional<std::string> PacketSimulator::audit_queue_counters() const {
+  std::size_t units = 0;
+  core::Amount amount = 0;
+  for (const core::Router& r : routers_) {
+    std::size_t r_units = 0;
+    core::Amount r_amount = 0;
+    for (const graph::ArcId a : graph_.out_arcs(r.id())) {
+      const core::UnitQueue* q = r.find_queue(a);
+      if (q == nullptr) continue;
+      r_units += q->size();
+      r_amount += q->total_amount();
+    }
+    if (r_units != r.queued_units() || r_amount != r.queued_amount()) {
+      std::ostringstream os;
+      os << "router " << r.id() << " counters (units=" << r.queued_units()
+         << ", amount=" << r.queued_amount() << ") != recount (units="
+         << r_units << ", amount=" << r_amount << ")";
+      return os.str();
+    }
+    units += r_units;
+    amount += r_amount;
+  }
+  if (units != total_queued_units_ || amount != total_queued_amount_) {
+    std::ostringstream os;
+    os << "simulator totals (units=" << total_queued_units_
+       << ", amount=" << total_queued_amount_ << ") != recount (units="
+       << units << ", amount=" << amount << ")";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
 Metrics PacketSimulator::run() {
   if (ran_) throw std::logic_error("PacketSimulator: run called twice");
   ran_ = true;
+  if (cfg_.auditor != nullptr) arm_auditor();
   payment_units_.resize(requests_.size());
   for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {
     const core::PaymentRequest& req = requests_[pid];
@@ -391,6 +444,9 @@ Metrics PacketSimulator::run() {
     events_.schedule_typed(cfg_.series_bucket, EventKind::kSeriesSample);
   }
   events_.run_until(cfg_.end_time);
+  if (cfg_.auditor != nullptr) {
+    cfg_.auditor->finish(events_.now(), events_.processed());
+  }
 
   for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {
     const core::PaymentRequest& req = requests_[pid];

@@ -25,6 +25,8 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/network.hpp"
@@ -38,6 +40,8 @@
 #include "sim/metrics.hpp"
 
 namespace spider::sim {
+
+class InvariantAuditor;  // sim/audit.hpp
 
 enum class UnitPathPolicy : std::uint8_t {
   kWidest,      // per unit, pick the candidate path with most available
@@ -69,6 +73,13 @@ struct PacketSimConfig {
   bool enable_congestion_control = false;
   double cc_initial_window = 4.0;
   double cc_max_window = 64.0;
+
+  /// Optional runtime invariant auditor (sim/audit.hpp). When set, the
+  /// simulator attaches it to its network at run() start, registers its
+  /// queue-counter and HTLC-hold checks, and drives it from the event
+  /// loop. Observation-only: metrics are byte-identical either way.
+  /// Must outlive run().
+  InvariantAuditor* auditor = nullptr;
 };
 
 class PacketSimulator {
@@ -159,6 +170,12 @@ class PacketSimulator {
   void service_arc(graph::ArcId a);
   void sweep_expired();
   void sample_series();
+  /// Registers the auditor's network binding and the packet-sim
+  /// specific checks (router queue counters vs running totals).
+  void arm_auditor();
+  /// Recounts every router queue and compares against the O(1) running
+  /// counters; returns a diagnosis on mismatch.
+  [[nodiscard]] std::optional<std::string> audit_queue_counters() const;
 
   const graph::Graph& graph_;
   std::vector<core::Amount> capacity_;
@@ -196,6 +213,10 @@ class PacketSimulator {
   // O(1) running totals over all router queues.
   std::size_t total_queued_units_ = 0;
   core::Amount total_queued_amount_ = 0;
+  /// Value this simulator believes is locked in live HTLC holds
+  /// (+amount per offered hop, -amount per settled/failed hop); the
+  /// auditor cross-checks it against the channels' pending totals.
+  core::Amount held_amount_ = 0;
 
   Metrics metrics_;
   bool ran_ = false;

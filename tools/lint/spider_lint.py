@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""spider_lint: determinism & conservation static checks for Spider C++.
+
+The simulator's published numbers rest on a contract the compiler cannot
+see: same-seed runs are bit-for-bit deterministic and no code path
+depends on iteration order, wall-clock time, or platform randomness.
+This linter enforces the mechanical half of that contract over `src/`,
+`bench/`, and `examples/` (see tools/lint/lint_rules.md for the rule
+catalogue and DESIGN.md "Determinism contract" for the policy).
+
+Zero dependencies beyond the Python 3 standard library; regex-driven on
+purpose -- it runs in well under a second over the whole tree and never
+needs a compile database.
+
+Usage:
+    tools/lint/spider_lint.py src bench examples
+    tools/lint/spider_lint.py --list-rules
+    tools/lint/spider_lint.py file.cpp another.hpp
+
+Exit status: 0 when clean, 1 when any finding fired, 2 on usage errors.
+
+Suppression: append `// spider-lint: allow(<rule>)` to the offending
+line, or put it alone on the line directly above. Every suppression
+should carry a human-readable justification next to it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterator, NamedTuple
+
+CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
+
+ALLOW_RE = re.compile(r"//\s*spider-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+# `for (... : expr)` -- captures the range expression for identifier lookup.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;]*?:\s*([^)]+)\)")
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# Variable or member names declared with an unordered container type on
+# the same line: `std::unordered_map<K, V> name;` / `... name_;`
+UNORDERED_VAR_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*[;{=(]"
+)
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule(NamedTuple):
+    name: str
+    summary: str
+
+
+RULES = [
+    Rule(
+        "unordered-container",
+        "std::unordered_{map,set} in deterministic code; allowlist only "
+        "pure-lookup uses (no iteration), or switch to a sorted/dense "
+        "container",
+    ),
+    Rule(
+        "unordered-iter",
+        "range-for over a std::unordered_{map,set} variable: iteration "
+        "order is implementation-defined and breaks same-seed determinism",
+    ),
+    Rule(
+        "nondet-random",
+        "std::random_device / rand() / srand() / random_shuffle: "
+        "nondeterministic or global-state randomness; seed a local "
+        "std::mt19937_64 from config instead",
+    ),
+    Rule(
+        "wall-clock",
+        "time()/system_clock/gettimeofday/localtime in simulation code; "
+        "simulation time comes from the EventQueue, wall time only from "
+        "std::chrono::steady_clock in runner/bench timing fields",
+    ),
+    Rule(
+        "float-accum",
+        "`float` declaration: metrics and balances accumulate in double "
+        "or integer milli-units; float narrows silently",
+    ),
+    Rule(
+        "ptr-key-order",
+        "ordered container keyed by a pointer: pointer order depends on "
+        "the allocator and varies run to run",
+    ),
+]
+
+RULE_NAMES = {r.name for r in RULES}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal *contents* so rule
+    regexes never fire on prose. Crude (no multi-line /* */ tracking
+    across lines with code), but block comments in this codebase never
+    share a line with code."""
+    out: list[str] = []
+    i = 0
+    n = len(line)
+    in_str: str | None = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+                out.append(c)
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a line comment
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+class FileLinter:
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        self.code_lines = [strip_comments_and_strings(l) for l in self.raw_lines]
+        self.findings: list[Finding] = []
+        # Names of variables/members declared with unordered container
+        # types anywhere in this file (single pass, pre-collected so a
+        # member declared below its use is still caught).
+        self.unordered_vars: set[str] = set()
+        for code in self.code_lines:
+            for m in UNORDERED_VAR_RE.finditer(code):
+                self.unordered_vars.add(m.group(1))
+
+    def is_allowed(self, lineno: int, rule: str) -> bool:
+        """True if line `lineno` (0-based) carries or inherits an
+        allow(<rule>) suppression (same line or the line above)."""
+        here = allowed_rules(self.raw_lines[lineno])
+        if rule in here:
+            return True
+        if lineno > 0:
+            above = self.raw_lines[lineno - 1].strip()
+            if above.startswith("//") and rule in allowed_rules(above):
+                return True
+        return False
+
+    def report(self, lineno: int, rule: str, message: str) -> None:
+        if not self.is_allowed(lineno, rule):
+            self.findings.append(Finding(self.path, lineno + 1, rule, message))
+
+    def lint(self) -> list[Finding]:
+        for i, code in enumerate(self.code_lines):
+            self.check_unordered(i, code)
+            self.check_random(i, code)
+            self.check_wall_clock(i, code)
+            self.check_float(i, code)
+            self.check_ptr_key(i, code)
+        return self.findings
+
+    def check_unordered(self, i: int, code: str) -> None:
+        if UNORDERED_DECL_RE.search(code):
+            self.report(
+                i,
+                "unordered-container",
+                "std::unordered_* container in deterministic code; "
+                "allowlist pure-lookup uses or use a sorted/dense container",
+            )
+        for m in RANGE_FOR_RE.finditer(code):
+            range_expr = m.group(1)
+            idents = set(IDENT_RE.findall(range_expr))
+            hit = idents & self.unordered_vars
+            if hit:
+                self.report(
+                    i,
+                    "unordered-iter",
+                    f"iteration over unordered container "
+                    f"'{sorted(hit)[0]}': order is implementation-defined",
+                )
+        # .begin() on a known-unordered variable also counts as iteration
+        # (std::sort(m.begin(), ...), accumulate, etc.). A bare .end() is
+        # fine: `it != m.end()` is the lookup idiom, not a walk.
+        for var in self.unordered_vars:
+            if re.search(rf"\b{re.escape(var)}\s*\.\s*(?:begin|cbegin)\s*\(", code):
+                self.report(
+                    i,
+                    "unordered-iter",
+                    f"iterator walk over unordered container '{var}': "
+                    "order is implementation-defined",
+                )
+                break
+
+    def check_random(self, i: int, code: str) -> None:
+        if re.search(r"\bstd::random_device\b", code):
+            self.report(i, "nondet-random", "std::random_device is nondeterministic by design")
+        if re.search(r"(?<![\w:.])s?rand\s*\(", code):
+            self.report(
+                i, "nondet-random", "rand()/srand() use hidden global state; use a seeded std::mt19937_64"
+            )
+        if re.search(r"\bstd::random_shuffle\b", code):
+            self.report(
+                i, "nondet-random", "std::random_shuffle draws from an unspecified source; use std::shuffle with a seeded engine"
+            )
+
+    def check_wall_clock(self, i: int, code: str) -> None:
+        if re.search(r"\bstd::chrono::(?:system_clock|high_resolution_clock)\b", code):
+            self.report(
+                i,
+                "wall-clock",
+                "system_clock/high_resolution_clock read; use the "
+                "EventQueue for sim time, steady_clock for wall timing",
+            )
+        if re.search(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)", code):
+            self.report(i, "wall-clock", "time() reads the wall clock")
+        for fn in ("gettimeofday", "clock_gettime", "localtime", "gmtime"):
+            if re.search(rf"(?<![\w:.]){fn}\s*\(", code):
+                self.report(i, "wall-clock", f"{fn}() reads the wall clock")
+                break
+
+    def check_float(self, i: int, code: str) -> None:
+        # Declarations/parameters/casts of `float`. Identifiers like
+        # `floating` or member accesses never match (word boundary).
+        if re.search(r"(?<![\w.])float\b", code):
+            self.report(
+                i,
+                "float-accum",
+                "`float` in simulation code: accumulate in double or "
+                "integer milli-units (Amount)",
+            )
+
+    def check_ptr_key(self, i: int, code: str) -> None:
+        # std::map/std::set keyed by a raw pointer type: `std::map<T*, ...`
+        # or `std::set<T*>`; const/qualified pointees included.
+        if re.search(r"\bstd::(?:map|set|multimap|multiset)\s*<[^,>]*\*\s*[,>]", code):
+            self.report(
+                i,
+                "ptr-key-order",
+                "ordered container keyed by pointer: address order is not "
+                "deterministic across runs",
+            )
+
+
+def iter_cpp_files(paths: list[str]) -> Iterator[str]:
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+        elif os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs.sort()
+                # Never descend into build trees.
+                dirs[:] = [d for d in dirs if d not in ("build", ".git")]
+                for f in sorted(files):
+                    if f.endswith(CPP_EXTENSIONS):
+                        yield os.path.join(root, f)
+        else:
+            print(f"spider_lint: no such file or directory: {p}", file=sys.stderr)
+            sys.exit(2)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="spider_lint", description="Spider determinism lint (see tools/lint/lint_rules.md)"
+    )
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(f"{r.name}: {r.summary}")
+        return 0
+    if not args.paths:
+        ap.print_usage(sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    file_count = 0
+    for path in iter_cpp_files(args.paths):
+        file_count += 1
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as e:
+            print(f"spider_lint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        findings.extend(FileLinter(path, text).lint())
+
+    for f in findings:
+        print(f)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"spider_lint: {file_count} file(s), {status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

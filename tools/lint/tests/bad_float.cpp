@@ -1,0 +1,11 @@
+// Golden bad snippet: float accumulation in metrics-like code.
+// Expected findings: float-accum on the declaration and parameter.
+struct BadMetrics {
+  float delivered = 0.0f;
+};
+
+double add(float x) {
+  BadMetrics m;
+  m.delivered += x;
+  return m.delivered;
+}

@@ -1,0 +1,14 @@
+// Golden bad snippet: ordered containers keyed by raw pointers.
+// Expected findings: ptr-key-order on both declarations.
+#include <map>
+#include <set>
+
+struct Node {};
+
+int count(Node* a, Node* b) {
+  std::map<Node*, int> rank;
+  std::set<const Node*> seen;
+  rank[a] = 1;
+  seen.insert(b);
+  return static_cast<int>(rank.size() + seen.size());
+}

@@ -1,0 +1,12 @@
+// Golden bad snippet: global-state and device randomness. Expected
+// findings: nondet-random on all four lines.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;
+  srand(42);
+  int r = rand() % 6;
+  std::mt19937 gen(std::random_device{}());
+  return r + static_cast<int>(gen());
+}

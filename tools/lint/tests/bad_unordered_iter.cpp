@@ -1,0 +1,15 @@
+// Golden bad snippet: iterating an unordered container. Expected
+// findings: unordered-container (declaration) + unordered-iter (loop
+// and iterator walk). Never compiled; consumed by run_tests.py only.
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  auto it = counts.begin();
+  return total + it->second;
+}

@@ -1,0 +1,15 @@
+// Golden bad snippet: wall-clock reads in simulation code. Expected
+// findings: wall-clock on each marked line; steady_clock is allowed.
+#include <chrono>
+#include <ctime>
+
+double stamp() {
+  auto sys = std::chrono::system_clock::now();            // fires
+  auto hr = std::chrono::high_resolution_clock::now();    // fires
+  std::time_t t = time(nullptr);                          // fires
+  auto ok = std::chrono::steady_clock::now();             // clean
+  (void)sys;
+  (void)hr;
+  (void)ok;
+  return static_cast<double>(t);
+}

@@ -1,0 +1,13 @@
+// Golden good snippet: every banned pattern here carries an allowlist
+// marker (same line or the line above), so the file must lint clean.
+#include <cstdlib>
+#include <unordered_map>
+
+// spider-lint: allow(unordered-container) lookup-only registry, never iterated
+std::unordered_map<int, int> registry;
+
+int lookup(int k) {
+  int r = rand();  // spider-lint: allow(nondet-random) golden-test fixture
+  auto it = registry.find(k);
+  return it == registry.end() ? r : it->second;
+}

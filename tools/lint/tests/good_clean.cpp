@@ -1,0 +1,25 @@
+// Golden good snippet: deterministic idioms only -- sorted containers,
+// seeded engines, steady_clock, double accumulation. Must lint clean,
+// including the mentions of rand() and std::unordered_map in comments
+// and strings ("std::random_device is banned").
+#include <chrono>
+#include <map>
+#include <random>
+#include <vector>
+
+const char* kBannedNote = "std::random_device is banned; so is rand()";
+
+double simulate(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::map<int, double> totals;
+  std::vector<double> samples;
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) samples.push_back(uni(rng));
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  totals[0] = sum;
+  (void)t0;
+  (void)kBannedNote;
+  return totals[0];
+}

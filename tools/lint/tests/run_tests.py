@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Golden tests for tools/lint/spider_lint.py.
+
+Each bad_*.cpp snippet must make its rule fire (nonzero exit, expected
+rule names in the output); each good_*.cpp must lint clean. Also checks
+the allowlist marker suppresses, that a rule-mismatched marker does not,
+and that the real tree (src/ bench/ examples/) is clean — the same
+invocation CI runs.
+
+Run directly or via ctest (registered as `lint_golden`):
+    python3 tools/lint/tests/run_tests.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "..", "spider_lint.py")
+REPO = os.path.abspath(os.path.join(HERE, "..", "..", ".."))
+
+failures: list[str] = []
+
+
+def run_lint(*args: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name: str, cond: bool, detail: str = "") -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {name}" + (f" -- {detail}" if detail and not cond else ""))
+    if not cond:
+        failures.append(name)
+
+
+def expect_fires(snippet: str, rules: list[str]) -> None:
+    path = os.path.join(HERE, snippet)
+    code, out = run_lint(path)
+    check(f"{snippet}: exits nonzero", code == 1, out)
+    for rule in rules:
+        check(f"{snippet}: fires [{rule}]", f"[{rule}]" in out, out)
+
+
+def expect_clean(snippet: str) -> None:
+    path = os.path.join(HERE, snippet)
+    code, out = run_lint(path)
+    check(f"{snippet}: exits zero", code == 0, out)
+
+
+def main() -> int:
+    expect_fires("bad_unordered_iter.cpp", ["unordered-container", "unordered-iter"])
+    expect_fires("bad_rand.cpp", ["nondet-random"])
+    expect_fires("bad_wall_clock.cpp", ["wall-clock"])
+    expect_fires("bad_float.cpp", ["float-accum"])
+    expect_fires("bad_ptr_key.cpp", ["ptr-key-order"])
+    expect_clean("good_allowlist.cpp")
+    expect_clean("good_clean.cpp")
+
+    # Per-line counts: bad_rand has four firing lines, bad_wall_clock three.
+    code, out = run_lint(os.path.join(HERE, "bad_rand.cpp"))
+    check("bad_rand.cpp: 4 findings", out.count("[nondet-random]") == 4, out)
+    code, out = run_lint(os.path.join(HERE, "bad_wall_clock.cpp"))
+    check("bad_wall_clock.cpp: 3 findings", out.count("[wall-clock]") == 3, out)
+    check("bad_wall_clock.cpp: steady_clock line clean", ":10:" not in out, out)
+
+    # A marker for the wrong rule must NOT suppress the finding.
+    with tempfile.TemporaryDirectory() as td:
+        wrong = os.path.join(td, "wrong_marker.cpp")
+        with open(wrong, "w", encoding="utf-8") as fh:
+            fh.write(
+                "#include <cstdlib>\n"
+                "int f() {\n"
+                "  return rand();  // spider-lint: allow(wall-clock)\n"
+                "}\n"
+            )
+        code, out = run_lint(wrong)
+        check("wrong-rule marker does not suppress", code == 1 and "[nondet-random]" in out, out)
+
+        # Marker on the preceding comment line suppresses.
+        above = os.path.join(td, "marker_above.cpp")
+        with open(above, "w", encoding="utf-8") as fh:
+            fh.write(
+                "#include <cstdlib>\n"
+                "int f() {\n"
+                "  // spider-lint: allow(nondet-random) fixture\n"
+                "  return rand();\n"
+                "}\n"
+            )
+        code, out = run_lint(above)
+        check("marker on line above suppresses", code == 0, out)
+
+    # The real tree must be clean -- the exact invocation CI uses.
+    code, out = run_lint(
+        os.path.join(REPO, "src"),
+        os.path.join(REPO, "bench"),
+        os.path.join(REPO, "examples"),
+    )
+    check("repo src/ bench/ examples/ clean", code == 0, out)
+
+    if failures:
+        print(f"\n{len(failures)} golden test(s) failed", file=sys.stderr)
+        return 1
+    print("\nall lint golden tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
