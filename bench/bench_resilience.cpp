@@ -1,0 +1,93 @@
+// Resilience sweep (no direct paper figure; extends §6 to the faulty
+// regime the paper assumes away): success ratio vs node-churn rate on
+// the ISP topology for every scheme, with channel closures and HTLC
+// withholding riding along at a fixed low rate. Each trial runs the
+// flow simulator under a seeded fault plan (src/faults/); the committed
+// BENCH_resilience.json at the repo root pins the reduced-scale output.
+//
+// The (scheme x churn) grid runs on exp::Runner: pass `--threads N` to
+// fan the independent trials out across cores (identical results for
+// every N), and `--json/--csv PATH` for machine-readable reports.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::print_header("bench_resilience",
+                      "graceful degradation under churn (fault model, "
+                      "DESIGN.md #8)");
+  const bool full = bench::full_scale();
+
+  // Mean node-failures per second across the whole topology; 0 is the
+  // fault-free baseline every other column degrades from.
+  const std::vector<double> churn_rates = {0.0, 0.02, 0.05, 0.1, 0.2};
+
+  const std::vector<std::string> scheme_names = schemes::all_scheme_names();
+  std::vector<exp::TrialSpec> trials;
+  for (const std::string& name : scheme_names) {
+    for (const double churn : churn_rates) {
+      exp::TrialSpec t;
+      t.scheme = name;
+      t.topology = "isp32";
+      t.workload = "isp";
+      t.workload_seed = 31;  // pinned: reproduces the committed table
+      t.txns = full ? 200000 : 12000;
+      t.end_time = 200.0;
+      t.capacity_units = full ? 30000.0 : 3000.0;
+      if (churn > 0) {
+        char spec[128];
+        std::snprintf(spec, sizeof spec,
+                      "churn=%g;downtime=5;close=0.005;withhold=0.02;hold=2;"
+                      "seed=97",
+                      churn);
+        t.faults = spec;
+      }
+      trials.push_back(std::move(t));
+    }
+  }
+
+  const exp::Runner runner(args.threads);
+  std::printf("running %zu trials on %zu threads\n", trials.size(),
+              runner.threads());
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<exp::TrialResult> results =
+      exp::run_trials(trials, runner);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%-22s", "scheme \\ churn");
+  for (const double c : churn_rates) std::printf(" %9.2f", c);
+  std::printf("\n");
+
+  for (std::size_t si = 0; si < scheme_names.size(); ++si) {
+    std::printf("%-22s", (scheme_names[si] + " [ratio]").c_str());
+    for (std::size_t ci = 0; ci < churn_rates.size(); ++ci) {
+      const sim::Metrics& m = results[si * churn_rates.size() + ci].metrics;
+      std::printf(" %9.3f", m.success_ratio());
+    }
+    std::printf("\n%-22s", (scheme_names[si] + " [volume]").c_str());
+    for (std::size_t ci = 0; ci < churn_rates.size(); ++ci) {
+      const sim::Metrics& m = results[si * churn_rates.size() + ci].metrics;
+      std::printf(" %9.3f", m.success_volume());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nsweep wall time: %.1f s (%zu threads)\n", wall,
+              runner.threads());
+  std::printf(
+      "\nexpectations (graceful degradation):\n"
+      "  * success falls smoothly -- not off a cliff -- as churn grows;\n"
+      "  * every scheme keeps a nonzero success ratio at the highest\n"
+      "    churn (reroute + backoff absorb the failures);\n"
+      "  * multipath schemes (Spider) degrade less than single-path\n"
+      "    shortest-path, which has no alternative when its one path\n"
+      "    crosses a down node.\n");
+  bench::write_bench_reports(args, "resilience", results, runner.threads());
+  return 0;
+}

@@ -38,6 +38,7 @@ struct CliOptions {
   std::uint64_t base_seed = 0;
   bool collect_series = false;
   bool audit = false;
+  std::string faults;
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -61,7 +62,11 @@ std::vector<std::string> split_csv(const std::string& s) {
       "usage: %s [--sweep tiny|fig6|fig7] [--threads N] [--json PATH]\n"
       "          [--csv PATH] [--schemes a,b,...] [--topologies a,b,...]\n"
       "          [--seeds K] [--txns N] [--base-seed S] [--series]\n"
-      "          [--audit]\n",
+      "          [--audit] [--faults SPEC]\n"
+      "  --faults: fault-profile spec applied to every trial, e.g.\n"
+      "            'churn=0.05;downtime=5;close=0.01;seed=7'\n"
+      "            (keys: churn downtime close withhold hold stale\n"
+      "            staledur seed horizon; ';' or ',' separated)\n",
       argv0);
   std::exit(2);
 }
@@ -95,6 +100,8 @@ CliOptions parse(int argc, char** argv) {
       opt.collect_series = true;
     } else if (std::strcmp(argv[i], "--audit") == 0) {
       opt.audit = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      opt.faults = value();
     } else {
       usage(argv[0]);
     }
@@ -138,12 +145,16 @@ int run(int argc, char** argv) {
   if (opt.base_seed > 0) cfg.base_seed = opt.base_seed;
   cfg.collect_series = opt.collect_series;
   cfg.audit = opt.audit;
+  cfg.faults = opt.faults;
 
   const exp::Runner runner(opt.threads);
   const std::vector<exp::TrialSpec> trials = exp::make_trials(cfg);
   std::printf("sweep %s: %zu trials on %zu threads%s\n", cfg.name.c_str(),
               trials.size(), runner.threads(),
               cfg.audit ? " (invariant audit on)" : "");
+  if (!cfg.faults.empty()) {
+    std::printf("fault profile: %s\n", cfg.faults.c_str());
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<exp::TrialResult> results =

@@ -51,6 +51,15 @@ std::optional<QueuedUnit> Router::pop_local(std::size_t i) {
   return u;
 }
 
+bool Router::erase(ArcId a, TxUnitId unit, Amount amount) {
+  const std::size_t i = local_index(a);
+  if (i == npos) return false;
+  if (!queues_[i].erase(unit)) return false;
+  --units_;
+  amount_ -= amount;
+  return true;
+}
+
 const QueuedUnit* Router::peek(ArcId a) const {
   const std::size_t i = local_index(a);
   return i == npos ? nullptr : queues_[i].peek();

@@ -59,6 +59,12 @@ class Router {
     return queues_[i].peek();
   }
 
+  /// Removes a specific waiting unit from arc `a`'s queue (a proactive
+  /// cancellation, e.g. its channel closed mid-run). `amount` must be
+  /// the unit's queued amount (the caller knows it; the running totals
+  /// are adjusted by it). Returns false if the unit is not queued here.
+  bool erase(ArcId a, TxUnitId unit, Amount amount);
+
   /// Read-only queue for arc `a`; nullptr if `a` is not bound here.
   [[nodiscard]] const UnitQueue* find_queue(ArcId a) const;
 

@@ -90,6 +90,25 @@ class Slab {
   /// Total slots ever created (live + free).
   [[nodiscard]] std::size_t capacity() const { return size_; }
 
+  /// Visits every live slot in ascending index order (a deterministic
+  /// order independent of acquire/release history). `fn` is called as
+  /// fn(SlabHandle, T&). The callback must not acquire or release slab
+  /// slots; collect handles first for mutating walks.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      Slot& s = slot(i);
+      if (s.occupied) fn(SlabHandle{i, s.gen}, s.value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      const Slot& s = slot(i);
+      if (s.occupied) fn(SlabHandle{i, s.gen}, s.value);
+    }
+  }
+
   /// Pre-allocates chunks for at least `n` slots.
   void reserve(std::size_t n) {
     const std::size_t chunks = (n + kChunkSize - 1) >> kChunkBits;

@@ -412,6 +412,16 @@ Json metrics_to_json(const sim::Metrics& m) {
   j.set("rebalance_events", m.rebalance_events);
   j.set("rebalanced_volume", static_cast<std::int64_t>(m.rebalanced_volume));
   j.set("fees_paid", static_cast<std::int64_t>(m.fees_paid));
+  j.set("fault_events_applied", m.fault_events_applied);
+  j.set("fault_node_downs", m.fault_node_downs);
+  j.set("fault_channel_closures", m.fault_channel_closures);
+  j.set("fault_withhold_spells", m.fault_withhold_spells);
+  j.set("fault_stale_spells", m.fault_stale_spells);
+  j.set("fault_units_failed", m.fault_units_failed);
+  j.set("fault_reroutes", m.fault_reroutes);
+  j.set("fault_withheld_acks", m.fault_withheld_acks);
+  j.set("fault_stale_decisions", m.fault_stale_decisions);
+  j.set("fault_backoff_retries", m.fault_backoff_retries);
   // Derived values, for report consumers (ignored by metrics_from_json).
   j.set("success_ratio", m.success_ratio());
   j.set("success_volume", m.success_volume());
@@ -446,6 +456,16 @@ sim::Metrics metrics_from_json(const Json& j) {
   m.rebalance_events = j.at("rebalance_events").as_uint();
   m.rebalanced_volume = j.at("rebalanced_volume").as_int();
   m.fees_paid = j.at("fees_paid").as_int();
+  m.fault_events_applied = j.at("fault_events_applied").as_uint();
+  m.fault_node_downs = j.at("fault_node_downs").as_uint();
+  m.fault_channel_closures = j.at("fault_channel_closures").as_uint();
+  m.fault_withhold_spells = j.at("fault_withhold_spells").as_uint();
+  m.fault_stale_spells = j.at("fault_stale_spells").as_uint();
+  m.fault_units_failed = j.at("fault_units_failed").as_uint();
+  m.fault_reroutes = j.at("fault_reroutes").as_uint();
+  m.fault_withheld_acks = j.at("fault_withheld_acks").as_uint();
+  m.fault_stale_decisions = j.at("fault_stale_decisions").as_uint();
+  m.fault_backoff_retries = j.at("fault_backoff_retries").as_uint();
   m.latency_hist = histogram_from_json(j.at("latency_hist"));
   m.series_bucket = j.at("series_bucket").as_double();
   m.delivered_series = double_series_from_json(j.at("delivered_series"));
@@ -463,7 +483,11 @@ std::string metrics_csv_header() {
   return "attempted,succeeded,partial,failed,attempted_volume,"
          "delivered_volume,completed_volume,total_attempt_rounds,"
          "units_sent,sum_completion_latency,rebalance_events,"
-         "rebalanced_volume,fees_paid,success_ratio,success_volume,"
+         "rebalanced_volume,fees_paid,fault_events_applied,"
+         "fault_node_downs,fault_channel_closures,fault_withhold_spells,"
+         "fault_stale_spells,fault_units_failed,fault_reroutes,"
+         "fault_withheld_acks,fault_stale_decisions,fault_backoff_retries,"
+         "success_ratio,success_volume,"
          "mean_completion_latency,latency_p50,latency_p95,latency_p99";
 }
 
@@ -494,6 +518,16 @@ std::string metrics_csv_row(const sim::Metrics& m) {
   add_u(m.rebalance_events);
   add_i(m.rebalanced_volume);
   add_i(m.fees_paid);
+  add_u(m.fault_events_applied);
+  add_u(m.fault_node_downs);
+  add_u(m.fault_channel_closures);
+  add_u(m.fault_withhold_spells);
+  add_u(m.fault_stale_spells);
+  add_u(m.fault_units_failed);
+  add_u(m.fault_reroutes);
+  add_u(m.fault_withheld_acks);
+  add_u(m.fault_stale_decisions);
+  add_u(m.fault_backoff_retries);
   add_d(m.success_ratio());
   add_d(m.success_volume());
   add_d(m.mean_completion_latency());
@@ -515,9 +549,9 @@ sim::Metrics metrics_from_csv_row(const std::string& row) {
     }
   }
   cols.push_back(cur);
-  constexpr std::size_t kColumns = 19;
+  constexpr std::size_t kColumns = 29;
   if (cols.size() != kColumns) {
-    throw std::runtime_error("metrics_from_csv_row: expected 19 columns, got " +
+    throw std::runtime_error("metrics_from_csv_row: expected 29 columns, got " +
                              std::to_string(cols.size()));
   }
   const auto get_u = [&](std::size_t i) -> std::uint64_t {
@@ -549,7 +583,17 @@ sim::Metrics metrics_from_csv_row(const std::string& row) {
   m.rebalance_events = get_u(10);
   m.rebalanced_volume = get_i(11);
   m.fees_paid = get_i(12);
-  // Columns 13..18 are derived values; recomputed from the fields above.
+  m.fault_events_applied = get_u(13);
+  m.fault_node_downs = get_u(14);
+  m.fault_channel_closures = get_u(15);
+  m.fault_withhold_spells = get_u(16);
+  m.fault_stale_spells = get_u(17);
+  m.fault_units_failed = get_u(18);
+  m.fault_reroutes = get_u(19);
+  m.fault_withheld_acks = get_u(20);
+  m.fault_stale_decisions = get_u(21);
+  m.fault_backoff_retries = get_u(22);
+  // Columns 23..28 are derived values; recomputed from the fields above.
   return m;
 }
 

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "faults/fault_profile.hpp"
+#include "faults/injector.hpp"
 #include "graph/topology.hpp"
 #include "schemes/schemes.hpp"
 #include "sim/audit.hpp"
@@ -68,6 +70,13 @@ TrialResult run_trial(const TrialSpec& spec) {
   cfg.collect_series = spec.collect_series;
   cfg.series_bucket = spec.series_bucket;
   if (spec.audit) cfg.auditor = &auditor;
+  faults::FaultInjector injector;
+  if (!spec.faults.empty()) {
+    faults::FaultProfile profile = faults::parse_profile(spec.faults);
+    if (profile.horizon <= 0) profile.horizon = spec.end_time;
+    injector = faults::FaultInjector(faults::generate_plan(profile, g));
+    cfg.faults = &injector;
+  }
   sim::FlowSimulator fs(
       g,
       std::vector<core::Amount>(g.edge_count(),
@@ -130,6 +139,7 @@ std::vector<TrialSpec> make_trials(const SweepConfig& cfg) {
           t.collect_series = cfg.collect_series;
           t.series_bucket = cfg.series_bucket;
           t.audit = cfg.audit;
+          t.faults = cfg.faults;
           trials.push_back(std::move(t));
         }
       }
@@ -162,6 +172,7 @@ Json sweep_report_json(const std::string& name,
     t.set("end_time", r.spec.end_time);
     t.set("capacity_units", r.spec.capacity_units);
     t.set("retry_policy", core::to_string(r.spec.retry_policy));
+    t.set("faults", r.spec.faults);
     t.set("wall_seconds", r.wall_seconds);
     t.set("metrics", report::metrics_to_json(r.metrics));
     trials.push_back(std::move(t));
@@ -173,7 +184,7 @@ Json sweep_report_json(const std::string& name,
 std::string sweep_report_csv(const std::vector<TrialResult>& results) {
   std::string out =
       "scheme,topology,workload,seed_index,workload_seed,txns,end_time,"
-      "capacity_units,retry_policy,wall_seconds," +
+      "capacity_units,retry_policy,faults,wall_seconds," +
       report::metrics_csv_header() + "\n";
   // Append in place: a `a + b + c` chain allocates a temporary per `+`.
   for (const TrialResult& r : results) {
@@ -194,6 +205,10 @@ std::string sweep_report_csv(const std::vector<TrialResult>& results) {
     out += std::to_string(r.spec.capacity_units);
     out += ',';
     out += core::to_string(r.spec.retry_policy);
+    out += ',';
+    // Profile specs allow ';' as item separator precisely so the CSV
+    // cell needs no quoting; rewrite any commas on the way out.
+    for (const char c : r.spec.faults) out += c == ',' ? ';' : c;
     out += ',';
     out += std::to_string(r.wall_seconds);
     out += ',';

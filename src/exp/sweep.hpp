@@ -47,6 +47,11 @@ struct TrialSpec {
   /// counters, monotone time; see sim/audit.hpp) and throw on any
   /// violation. Observation-only: metrics are unchanged.
   bool audit = false;
+  /// Fault profile spec (faults::parse_profile syntax, e.g.
+  /// "churn=0.05,downtime=5,seed=7"). Empty = no fault subsystem; the
+  /// trial is byte-identical to one run before faults existed. A
+  /// profile horizon <= 0 defaults to the trial's end_time.
+  std::string faults;
 };
 
 struct TrialResult {
@@ -90,6 +95,8 @@ struct SweepConfig {
   double series_bucket = 5.0;
   /// Audit every trial (TrialSpec::audit).
   bool audit = false;
+  /// Fault profile spec applied to every trial (TrialSpec::faults).
+  std::string faults;
 };
 
 [[nodiscard]] std::vector<TrialSpec> make_trials(const SweepConfig& cfg);

@@ -1,0 +1,53 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::faults {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeDown: return "node-down";
+    case FaultKind::kChannelClose: return "channel-close";
+    case FaultKind::kWithhold: return "withhold";
+    case FaultKind::kProbeStale: return "probe-stale";
+  }
+  return "unknown";
+}
+
+void FaultPlan::normalize() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void FaultPlan::validate(const graph::Graph& g) const {
+  for (const FaultEvent& ev : events_) {
+    if (!(ev.time >= 0) || std::isnan(ev.duration) || ev.duration < 0) {
+      throw std::invalid_argument("FaultPlan: negative or NaN time/duration");
+    }
+    switch (ev.kind) {
+      case FaultKind::kNodeDown:
+      case FaultKind::kWithhold:
+        if (ev.target >= g.node_count()) {
+          throw std::invalid_argument("FaultPlan: node target out of range");
+        }
+        break;
+      case FaultKind::kChannelClose:
+        if (ev.target >= g.edge_count()) {
+          throw std::invalid_argument("FaultPlan: edge target out of range");
+        }
+        break;
+      case FaultKind::kProbeStale:
+        if (ev.target != 0) {
+          throw std::invalid_argument(
+              "FaultPlan: probe-stale events are network-wide (target 0)");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace spider::faults

@@ -1,0 +1,91 @@
+#pragma once
+// Fault-injection schedule shared by both simulators (DESIGN.md §8).
+//
+// A FaultPlan is a plain, inspectable list of timed fault events --
+// scripted by tests or generated from a seeded FaultProfile
+// (fault_profile.hpp). The plan itself carries no randomness and no
+// state: it is a pure value, so the same plan fed to the same simulator
+// configuration reproduces the same run bit for bit. The simulators
+// translate each entry into one typed kFaultStart event at plan-build
+// time; an *empty* plan schedules nothing and leaves the event stream
+// byte-identical to a simulator built without the subsystem.
+//
+// Fault taxonomy (paper §4/§6 failure modes the protocol must absorb):
+//  * kNodeDown      -- the node neither forwards nor originates for
+//                      `duration`; its router queues fail via the
+//                      expiry machinery and paths route around it.
+//  * kChannelClose  -- the channel closes unilaterally mid-run
+//                      (chain::lifecycle semantics: pending HTLCs
+//                      resolve as failed, refunding the offerers) and
+//                      never reopens.
+//  * kWithhold      -- the node withholds HTLC settlement: receiver
+//                      confirmations it owes are delayed until the
+//                      spell ends (`duration`).
+//  * kProbeStale    -- the price/imbalance signals that waterfilling
+//                      and primal-dual routing read go stale for
+//                      `duration`: routing decisions use a snapshot of
+//                      channel state taken when the spike began.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace spider::faults {
+
+enum class FaultKind : std::uint8_t {
+  kNodeDown,
+  kChannelClose,
+  kWithhold,
+  kProbeStale,
+};
+
+[[nodiscard]] std::string to_string(FaultKind k);
+
+struct FaultEvent {
+  /// Absolute simulation time the fault begins.
+  core::TimePoint time = 0;
+  FaultKind kind = FaultKind::kNodeDown;
+  /// NodeId for kNodeDown/kWithhold, EdgeId for kChannelClose; unused
+  /// (must be 0) for kProbeStale.
+  std::uint32_t target = 0;
+  /// Window length; ignored for kChannelClose (closures are permanent).
+  core::TimePoint duration = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events)
+      : events_(std::move(events)) {}
+
+  void add(const FaultEvent& ev) { events_.push_back(ev); }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const FaultEvent& at(std::size_t i) const {
+    return events_.at(i);
+  }
+
+  /// Stable-sorts events by start time; ties keep insertion order, so a
+  /// plan's event order is a deterministic function of its contents.
+  void normalize();
+
+  /// Throws std::invalid_argument unless every event is well-formed for
+  /// graph `g`: targets in range, non-negative times and durations.
+  void validate(const graph::Graph& g) const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace spider::faults

@@ -1,0 +1,143 @@
+#include "faults/fault_profile.hpp"
+
+#include <charconv>
+#include <random>
+#include <stdexcept>
+
+namespace spider::faults {
+
+namespace {
+
+/// Shortest-round-trip double formatting (same contract as the exp
+/// report writer): parsing the result recovers the exact bit pattern.
+std::string format_double(double d) {
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  return std::string(buf, res.ptr);
+}
+
+double parse_double(const std::string& key, const std::string& val) {
+  double d = 0;
+  const auto res = std::from_chars(val.data(), val.data() + val.size(), d);
+  if (res.ec != std::errc() || res.ptr != val.data() + val.size()) {
+    throw std::invalid_argument("parse_profile: bad value for " + key + ": " +
+                                val);
+  }
+  return d;
+}
+
+std::uint64_t parse_seed(const std::string& val) {
+  std::uint64_t s = 0;
+  const auto res = std::from_chars(val.data(), val.data() + val.size(), s);
+  if (res.ec != std::errc() || res.ptr != val.data() + val.size()) {
+    throw std::invalid_argument("parse_profile: bad seed: " + val);
+  }
+  return s;
+}
+
+/// One Poisson process of fault starts: exponential inter-arrival gaps
+/// at `rate`, each event aimed at a uniform target in [0, targets) with
+/// an exponential duration of the given mean. Each fault kind draws
+/// from its own engine (seed xor a per-kind salt), so enabling one kind
+/// never perturbs another kind's schedule.
+void emit_poisson(FaultPlan& plan, FaultKind kind, double rate,
+                  double mean_duration, std::uint32_t targets, double horizon,
+                  std::uint64_t seed) {
+  if (rate <= 0 || targets == 0 || horizon <= 0) return;
+  if (mean_duration <= 0 && kind != FaultKind::kChannelClose) {
+    throw std::invalid_argument(
+        "generate_plan: non-positive mean duration for " + to_string(kind));
+  }
+  std::mt19937_64 rng(seed ^ (0x5bd1e995ull *
+                              (static_cast<std::uint64_t>(kind) + 1)));
+  std::exponential_distribution<double> gap(rate);
+  std::uniform_int_distribution<std::uint32_t> pick(0, targets - 1);
+  std::exponential_distribution<double> dur(
+      mean_duration > 0 ? 1.0 / mean_duration : 1.0);
+  for (double t = gap(rng); t < horizon; t += gap(rng)) {
+    FaultEvent ev;
+    ev.time = t;
+    ev.kind = kind;
+    ev.target = kind == FaultKind::kProbeStale ? 0 : pick(rng);
+    ev.duration = kind == FaultKind::kChannelClose ? 0.0 : dur(rng);
+    plan.add(ev);
+  }
+}
+
+}  // namespace
+
+FaultPlan generate_plan(const FaultProfile& p, const graph::Graph& g) {
+  if (p.horizon <= 0 && !p.quiet()) {
+    throw std::invalid_argument("generate_plan: profile horizon not set");
+  }
+  FaultPlan plan;
+  emit_poisson(plan, FaultKind::kNodeDown, p.node_churn_rate, p.mean_downtime,
+               static_cast<std::uint32_t>(g.node_count()), p.horizon, p.seed);
+  emit_poisson(plan, FaultKind::kChannelClose, p.channel_close_rate, 0.0,
+               static_cast<std::uint32_t>(g.edge_count()), p.horizon, p.seed);
+  emit_poisson(plan, FaultKind::kWithhold, p.withhold_rate, p.mean_withhold,
+               static_cast<std::uint32_t>(g.node_count()), p.horizon, p.seed);
+  emit_poisson(plan, FaultKind::kProbeStale, p.stale_rate, p.mean_stale, 1,
+               p.horizon, p.seed);
+  plan.normalize();
+  plan.validate(g);
+  return plan;
+}
+
+FaultProfile parse_profile(const std::string& spec) {
+  FaultProfile p;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    // ',' and ';' both separate items; ';' lets a spec ride inside a
+    // CSV cell (exp::sweep_report_csv) without quoting.
+    std::size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("parse_profile: expected key=value, got " +
+                                  item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      p.seed = parse_seed(val);
+    } else if (key == "horizon") {
+      p.horizon = parse_double(key, val);
+    } else if (key == "churn") {
+      p.node_churn_rate = parse_double(key, val);
+    } else if (key == "downtime") {
+      p.mean_downtime = parse_double(key, val);
+    } else if (key == "close") {
+      p.channel_close_rate = parse_double(key, val);
+    } else if (key == "withhold") {
+      p.withhold_rate = parse_double(key, val);
+    } else if (key == "hold") {
+      p.mean_withhold = parse_double(key, val);
+    } else if (key == "stale") {
+      p.stale_rate = parse_double(key, val);
+    } else if (key == "staledur") {
+      p.mean_stale = parse_double(key, val);
+    } else {
+      throw std::invalid_argument("parse_profile: unknown key " + key);
+    }
+  }
+  return p;
+}
+
+std::string to_string(const FaultProfile& p) {
+  std::string out = "seed=" + std::to_string(p.seed);
+  out += ",horizon=" + format_double(p.horizon);
+  out += ",churn=" + format_double(p.node_churn_rate);
+  out += ",downtime=" + format_double(p.mean_downtime);
+  out += ",close=" + format_double(p.channel_close_rate);
+  out += ",withhold=" + format_double(p.withhold_rate);
+  out += ",hold=" + format_double(p.mean_withhold);
+  out += ",stale=" + format_double(p.stale_rate);
+  out += ",staledur=" + format_double(p.mean_stale);
+  return out;
+}
+
+}  // namespace spider::faults

@@ -1,0 +1,72 @@
+#pragma once
+// Seeded fault-schedule generator. A FaultProfile describes fault
+// *rates* (independent Poisson processes per fault kind); generate_plan
+// expands it into a concrete FaultPlan for a topology. All randomness
+// in the fault subsystem flows through here -- a single mt19937_64 per
+// fault kind, derived from the profile seed -- which the `fault-
+// sampling` lint rule enforces for the rest of the tree.
+//
+// Profiles round-trip through the compact spec-string syntax used by
+// `sweep_cli --faults` and exp::TrialSpec::faults:
+//
+//   "churn=0.05,downtime=5,close=0.01,withhold=0.1,hold=2,
+//    stale=0.02,staledur=3,seed=7,horizon=200"
+//
+// Every key is optional; omitted rates default to zero (no faults of
+// that kind) and `horizon<=0` means "use the simulation end time".
+
+#include <cstdint>
+#include <string>
+
+#include "faults/fault_plan.hpp"
+#include "graph/graph.hpp"
+
+namespace spider::faults {
+
+struct FaultProfile {
+  std::uint64_t seed = 1;
+  /// Schedule horizon in seconds; <= 0 means the caller substitutes the
+  /// simulation end time before generating.
+  double horizon = 0.0;
+
+  /// Node downtime windows per second, network-wide ("churn").
+  double node_churn_rate = 0.0;
+  /// Mean downtime window length (exponential).
+  double mean_downtime = 5.0;
+
+  /// Permanent mid-run channel closures per second.
+  double channel_close_rate = 0.0;
+
+  /// HTLC-withholding spells per second, network-wide.
+  double withhold_rate = 0.0;
+  /// Mean withholding spell length (exponential).
+  double mean_withhold = 2.0;
+
+  /// Probe-staleness spikes per second (network-wide price signals).
+  double stale_rate = 0.0;
+  /// Mean staleness spike length (exponential).
+  double mean_stale = 2.0;
+
+  /// True when every rate is zero (the generated plan is empty).
+  [[nodiscard]] bool quiet() const {
+    return node_churn_rate <= 0 && channel_close_rate <= 0 &&
+           withhold_rate <= 0 && stale_rate <= 0;
+  }
+
+  friend bool operator==(const FaultProfile&, const FaultProfile&) = default;
+};
+
+/// Expands the profile into a normalized, validated FaultPlan on `g`.
+/// Deterministic: same (profile, graph shape) -> same plan.
+[[nodiscard]] FaultPlan generate_plan(const FaultProfile& p,
+                                      const graph::Graph& g);
+
+/// Parses the "key=value,key=value" spec syntax above. An empty spec
+/// yields the default (quiet) profile. Throws std::invalid_argument on
+/// unknown keys or malformed numbers.
+[[nodiscard]] FaultProfile parse_profile(const std::string& spec);
+
+/// Canonical spec string for `p` (parse_profile round-trips it).
+[[nodiscard]] std::string to_string(const FaultProfile& p);
+
+}  // namespace spider::faults

@@ -1,0 +1,87 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider::faults {
+
+void FaultInjector::bind(const graph::Graph& g) {
+  plan_.validate(g);
+  graph_ = &g;
+  down_depth_.assign(g.node_count(), 0);
+  closed_.assign(g.edge_count(), 0);
+  withhold_until_.assign(g.node_count(), 0.0);
+  stale_depth_ = 0;
+}
+
+FaultInjector::Applied FaultInjector::apply(std::size_t index,
+                                            core::TimePoint now) {
+  if (graph_ == nullptr) {
+    throw std::logic_error("FaultInjector: apply before bind");
+  }
+  const FaultEvent& ev = plan_.at(index);
+  Applied out;
+  out.kind = ev.kind;
+  out.target = ev.target;
+  switch (ev.kind) {
+    case FaultKind::kNodeDown:
+      out.became_active = down_depth_[ev.target] == 0;
+      ++down_depth_[ev.target];
+      out.until = now + ev.duration;
+      out.needs_end_event = true;
+      break;
+    case FaultKind::kChannelClose:
+      out.became_active = closed_[ev.target] == 0;
+      closed_[ev.target] = 1;
+      out.until = core::kNever;
+      break;
+    case FaultKind::kWithhold:
+      out.became_active = !(now < withhold_until_[ev.target]);
+      withhold_until_[ev.target] =
+          std::max(withhold_until_[ev.target], now + ev.duration);
+      out.until = withhold_until_[ev.target];
+      break;
+    case FaultKind::kProbeStale:
+      out.became_active = stale_depth_ == 0;
+      ++stale_depth_;
+      out.until = now + ev.duration;
+      out.needs_end_event = true;
+      break;
+  }
+  return out;
+}
+
+bool FaultInjector::expire(FaultKind kind, std::uint32_t target) {
+  switch (kind) {
+    case FaultKind::kNodeDown:
+      if (down_depth_[target] == 0) {
+        throw std::logic_error("FaultInjector: node-down underflow");
+      }
+      return --down_depth_[target] == 0;
+    case FaultKind::kProbeStale:
+      if (stale_depth_ == 0) {
+        throw std::logic_error("FaultInjector: probe-stale underflow");
+      }
+      return --stale_depth_ == 0;
+    case FaultKind::kChannelClose:
+    case FaultKind::kWithhold:
+      return false;  // permanent / self-expiring; no end events
+  }
+  return false;
+}
+
+bool FaultInjector::path_blocked(const graph::Path& p,
+                                 const graph::Graph& g) const {
+  for (std::size_t i = 0; i < p.arcs.size(); ++i) {
+    const graph::ArcId a = p.arcs[i];
+    if (closed_[graph::edge_of(a)] != 0) return true;
+    // Forwarding nodes (tails of hop 1..n-1) must be up; so must the
+    // destination, which has to confirm the unit. The source's own
+    // liveness is the originator's problem, checked at launch.
+    if (i > 0 && down_depth_[g.tail(a)] > 0) return true;
+  }
+  if (!p.arcs.empty() && down_depth_[g.head(p.arcs.back())] > 0) return true;
+  return false;
+}
+
+}  // namespace spider::faults

@@ -1,0 +1,111 @@
+#pragma once
+// Runtime fault state machine. A FaultInjector owns one FaultPlan and
+// answers the simulators' hot-path questions -- is this node down? is
+// this edge closed? is this receiver withholding? are probe signals
+// stale? -- in O(1) off dense per-node/per-edge state.
+//
+// Event protocol (shared by both simulators):
+//  * at run() start the simulator calls bind(graph) and schedules one
+//    typed kFaultStart event per plan entry, payload = plan index;
+//  * firing kFaultStart calls apply(index, now), which flips the state
+//    on and reports whether a matching kFaultEnd must be scheduled
+//    (node-down and probe-stale windows end by event; withholding
+//    self-expires by timestamp; closures are permanent);
+//  * firing kFaultEnd calls expire(kind, target) with the payload
+//    unpacked via unpack_end_*.
+//
+// Overlapping windows nest: node-down and probe-stale keep depth
+// counters (a node with two overlapping downtime windows recovers only
+// when both end), withholding keeps the max deadline.
+//
+// The injector is bound to one run at a time; bind() resets all state,
+// so one injector can drive the many short runs of a chaos test.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "faults/fault_plan.hpp"
+#include "graph/graph.hpp"
+
+namespace spider::faults {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Validates the plan against `g` and (re)initializes all fault state.
+  /// Must be called before apply/expire or any query. `g` must outlive
+  /// the bound run.
+  void bind(const graph::Graph& g);
+
+  /// What a kFaultStart firing did.
+  struct Applied {
+    FaultKind kind = FaultKind::kNodeDown;
+    std::uint32_t target = 0;
+    /// Recovery time (kNever for permanent closures).
+    core::TimePoint until = core::kNever;
+    /// Schedule a kFaultEnd at `until` (node-down / probe-stale only).
+    bool needs_end_event = false;
+    /// The state transitioned inactive -> active (first overlapping
+    /// window; e.g. the moment to snapshot state for probe staleness).
+    bool became_active = false;
+  };
+
+  /// Applies plan entry `index` at simulation time `now`.
+  Applied apply(std::size_t index, core::TimePoint now);
+
+  /// Ends one window of (kind, target); returns true when the state
+  /// actually cleared (last overlapping window ended).
+  bool expire(FaultKind kind, std::uint32_t target);
+
+  /// Payload word for kFaultEnd events.
+  [[nodiscard]] static constexpr std::uint64_t pack_end(
+      FaultKind kind, std::uint32_t target) {
+    return (static_cast<std::uint64_t>(kind) << 32) | target;
+  }
+  [[nodiscard]] static constexpr FaultKind unpack_end_kind(std::uint64_t w) {
+    return static_cast<FaultKind>(w >> 32);
+  }
+  [[nodiscard]] static constexpr std::uint32_t unpack_end_target(
+      std::uint64_t w) {
+    return static_cast<std::uint32_t>(w);
+  }
+
+  // ---- O(1) hot-path queries -------------------------------------
+
+  [[nodiscard]] bool node_down(core::NodeId v) const {
+    return down_depth_[v] > 0;
+  }
+  [[nodiscard]] bool edge_closed(graph::EdgeId e) const {
+    return closed_[e] != 0;
+  }
+  [[nodiscard]] bool withholding(core::NodeId v, core::TimePoint now) const {
+    return now < withhold_until_[v];
+  }
+  [[nodiscard]] core::TimePoint withhold_until(core::NodeId v) const {
+    return withhold_until_[v];
+  }
+  [[nodiscard]] bool probes_stale() const { return stale_depth_ > 0; }
+
+  /// True if `p` crosses a closed edge, a down forwarding node, or a
+  /// down destination -- i.e. sending on it now is known to fail.
+  [[nodiscard]] bool path_blocked(const graph::Path& p,
+                                  const graph::Graph& g) const;
+
+ private:
+  FaultPlan plan_;
+  const graph::Graph* graph_ = nullptr;
+  /// Overlapping-downtime depth per node (>0 = down).
+  std::vector<std::uint16_t> down_depth_;
+  /// 1 once the channel closed (permanent).
+  std::vector<std::uint8_t> closed_;
+  /// Withholding spell deadline per node (0 = never withheld).
+  std::vector<core::TimePoint> withhold_until_;
+  int stale_depth_ = 0;
+};
+
+}  // namespace spider::faults

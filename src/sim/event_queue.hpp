@@ -37,6 +37,8 @@ enum class EventKind : std::uint8_t {
   kSettle,        // reserved: deferred settlement (a = handle, b = key)
   kExpirySweep,   // periodic router-queue expiry sweep (no payload)
   kSeriesSample,  // periodic telemetry sample (no payload)
+  kFaultStart,    // a fault-plan entry begins (a = plan index)
+  kFaultEnd,      // a fault window ends (a = FaultInjector::pack_end word)
   kCallback,      // internal: run a slab-stored std::function
 };
 

@@ -4,7 +4,9 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "faults/injector.hpp"
 #include "sim/audit.hpp"
 
 namespace spider::sim {
@@ -27,6 +29,7 @@ FlowSimulator::FlowSimulator(const graph::Graph& g,
       net_(g, capacity_),
       scheme_(scheme),
       cfg_(config),
+      faults_(config.faults),
       retry_queue_(config.retry_policy) {
   if (cfg_.delta <= 0 || cfg_.poll_interval <= 0 || cfg_.end_time <= 0) {
     throw std::invalid_argument("FlowSimulator: non-positive timing config");
@@ -74,10 +77,29 @@ void FlowSimulator::attempt(core::PaymentId pid) {
     st.closed = true;
     return;
   }
+  if (faults_ != nullptr &&
+      (faults_->node_down(st.req.src) || faults_->node_down(st.req.dst))) {
+    // An endpoint is down, so no routing attempt is possible right now.
+    // The attempt is not consumed (even for atomic schemes -- their one
+    // shot happens once the endpoints are live); the payment waits out
+    // an exponential backoff in the retry queue instead of hammering a
+    // dead host every poll. The deadline check above still bounds this.
+    fault_backoff(st);
+    enqueue_retry(pid);
+    return;
+  }
   const core::Amount remaining = st.req.amount - st.delivered - st.inflight;
   if (remaining <= 0) return;
   ++metrics_.total_attempt_rounds;
-  std::vector<RouteChoice> choices = scheme_.route(st.req, remaining, net_, events_.now());
+  // During a probe-staleness spike schemes route against the frozen
+  // snapshot; locking below still validates against the live network.
+  const core::ChannelNetwork* view = &net_;
+  if (stale_net_ != nullptr) {
+    view = stale_net_.get();
+    ++metrics_.fault_stale_decisions;
+  }
+  std::vector<RouteChoice> choices =
+      scheme_.route(st.req, remaining, *view, events_.now());
   if (scheme_.atomic()) {
     attempt_atomic(st, pid, std::move(choices));
   } else {
@@ -89,6 +111,15 @@ void FlowSimulator::attempt_atomic(PaymentState& st, core::PaymentId pid,
                                    std::vector<RouteChoice> choices) {
   // All-or-nothing: lock every choice; any shortfall rolls everything
   // back and the payment fails permanently.
+  if (faults_ != nullptr) {
+    // Fault-blocked paths are not live choices: drop them up front so
+    // the total/needed comparison below sees only usable routes.
+    std::erase_if(choices, [&](const RouteChoice& c) {
+      if (!faults_->path_blocked(c.path, graph_)) return false;
+      ++metrics_.fault_reroutes;
+      return true;
+    });
+  }
   st.closed = true;  // single attempt either way
   core::Amount total = 0;
   for (const RouteChoice& c : choices) total += c.amount;
@@ -118,7 +149,13 @@ void FlowSimulator::attempt_non_atomic(PaymentState& st, core::PaymentId pid,
   const core::Preimage key = next_key_++;
   const core::LockHash lockhash = core::hash_preimage(key);
   const bool fee_free = cfg_.fee_policy.free();
+  bool fault_blocked = false;
   for (const RouteChoice& c : choices) {
+    if (faults_ != nullptr && faults_->path_blocked(c.path, graph_)) {
+      ++metrics_.fault_reroutes;
+      fault_blocked = true;
+      continue;
+    }
     const core::Amount needed = st.req.amount - st.delivered - st.inflight;
     if (needed <= 0) break;
     core::Amount amt = std::min({c.amount, needed, net_.path_available(c.path)});
@@ -142,6 +179,7 @@ void FlowSimulator::attempt_non_atomic(PaymentState& st, core::PaymentId pid,
     send(pid, amt, std::move(*rl), key);
   }
   if (st.req.amount - st.delivered - st.inflight > 0) {
+    if (fault_blocked) fault_backoff(st);
     enqueue_retry(pid);
   }
 }
@@ -152,27 +190,50 @@ void FlowSimulator::send(core::PaymentId pid, core::Amount amt,
   st.inflight += amt;
   held_amount_ += lock.total_held;
   ++metrics_.units_sent;
-  events_.schedule_in(cfg_.delta,
-                      [this, pid, rl = std::move(lock), key]() {
-                        complete(pid, rl, key);
-                      });
+  st.backoff_exp = 0;  // progress: the fault backoff starts over
+  st.not_before = 0;
+  TimePoint delay = cfg_.delta;
+  if (faults_ != nullptr && faults_->withholding(st.req.dst, events_.now())) {
+    // A withholding receiver sits on the HTLCs and settles only when
+    // its spell expires (plus the usual in-flight delay).
+    delay = (faults_->withhold_until(st.req.dst) - events_.now()) + cfg_.delta;
+    ++metrics_.fault_withheld_acks;
+  }
+  const core::SlabHandle h = live_sends_.acquire();
+  LiveSend& ls = *live_sends_.get(h);
+  ls.lock = std::move(lock);
+  ls.key = key;
+  ls.pid = pid;
+  ls.cancelled = false;
+  events_.schedule_in(delay, [this, h]() { complete(h); });
 }
 
-void FlowSimulator::complete(core::PaymentId pid, const core::RouteLock& rl,
-                             core::Preimage key) {
+void FlowSimulator::complete(core::SlabHandle h) {
+  LiveSend* ls = live_sends_.get(h);
+  if (ls == nullptr) return;  // defensive: only this callback releases
+  PaymentState& st = payments_[ls->pid];
+  if (ls->cancelled) {
+    // A mid-run channel closure severed this route; its locks already
+    // failed and refunded at close time. Surviving non-atomic
+    // remainders re-enter the retry loop.
+    st.inflight -= ls->lock.amount;
+    if (!scheme_.atomic()) enqueue_retry(ls->pid);
+    live_sends_.release(h);
+    return;
+  }
   // The simulator is both every sender and every receiver, so it settles
   // each route with the preimage it generated at lock time.
-  net_.settle_route(rl, key);
-  held_amount_ -= rl.total_held;
-  PaymentState& st = payments_[pid];
-  st.inflight -= rl.amount;
-  st.delivered += rl.amount;
-  metrics_.delivered_volume += rl.amount;
-  record_series(rl.amount);
+  net_.settle_route(ls->lock, ls->key);
+  held_amount_ -= ls->lock.total_held;
+  st.inflight -= ls->lock.amount;
+  st.delivered += ls->lock.amount;
+  metrics_.delivered_volume += ls->lock.amount;
+  record_series(ls->lock.amount);
   if (st.delivered == st.req.amount) {
     metrics_.sum_completion_latency += events_.now() - st.req.arrival;
     metrics_.latency_hist.add(events_.now() - st.req.arrival);
   }
+  live_sends_.release(h);
 }
 
 void FlowSimulator::sample_series() {
@@ -193,6 +254,7 @@ void FlowSimulator::rebalance_sweep() {
   // the original 50/50 split but only becomes spendable after the
   // blockchain confirmation delay.
   for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    if (faults_ != nullptr && faults_->edge_closed(e)) continue;
     const core::Amount half = capacity_[e] / 2;
     const core::Amount floor_amt = static_cast<core::Amount>(
         static_cast<double>(half) * cfg_.rebalance_threshold);
@@ -232,6 +294,12 @@ void FlowSimulator::poll() {
   }
   for (const core::QueuedUnit& qu : batch) {
     const core::PaymentId pid = qu.unit.payment;
+    if (faults_ != nullptr && events_.now() < payments_[pid].not_before) {
+      // Fault backoff window still open: skip this poll, stay queued.
+      ++metrics_.fault_backoff_retries;
+      enqueue_retry(pid);
+      continue;
+    }
     attempt(pid);
     PaymentState& st = payments_[pid];
     if (!st.closed && st.req.amount - st.delivered > 0) {
@@ -241,6 +309,99 @@ void FlowSimulator::poll() {
   if (events_.now() + cfg_.poll_interval <= cfg_.end_time) {
     events_.schedule_in(cfg_.poll_interval, [this]() { poll(); });
   }
+}
+
+void FlowSimulator::dispatch(void* ctx, EventKind kind, std::uint64_t a,
+                             std::uint64_t b) {
+  (void)b;
+  auto* self = static_cast<FlowSimulator*>(ctx);
+  switch (kind) {
+    case EventKind::kFaultStart:
+      self->apply_fault(static_cast<std::size_t>(a));
+      break;
+    case EventKind::kFaultEnd:
+      self->end_fault(a);
+      break;
+    default:
+      throw std::logic_error("FlowSimulator: unexpected typed event kind");
+  }
+}
+
+void FlowSimulator::apply_fault(std::size_t index) {
+  const faults::FaultInjector::Applied ap =
+      faults_->apply(index, events_.now());
+  ++metrics_.fault_events_applied;
+  if (ap.needs_end_event) {
+    events_.schedule_typed(ap.until, EventKind::kFaultEnd,
+                           faults::FaultInjector::pack_end(ap.kind, ap.target));
+  }
+  switch (ap.kind) {
+    case faults::FaultKind::kNodeDown:
+      // Query-side gating: attempt() refuses down endpoints and
+      // path_blocked() hides routes through the node. In-flight routes
+      // keep their locks -- the HTLCs were accepted before the crash
+      // and resolve normally (chain/lifecycle.hpp).
+      ++metrics_.fault_node_downs;
+      break;
+    case faults::FaultKind::kChannelClose:
+      ++metrics_.fault_channel_closures;
+      if (ap.became_active) close_channel(static_cast<graph::EdgeId>(ap.target));
+      break;
+    case faults::FaultKind::kWithhold:
+      ++metrics_.fault_withhold_spells;
+      break;
+    case faults::FaultKind::kProbeStale:
+      ++metrics_.fault_stale_spells;
+      if (ap.became_active) make_stale_snapshot();
+      break;
+  }
+}
+
+void FlowSimulator::end_fault(std::uint64_t word) {
+  const faults::FaultKind kind = faults::FaultInjector::unpack_end_kind(word);
+  const std::uint32_t target = faults::FaultInjector::unpack_end_target(word);
+  if (!faults_->expire(kind, target)) return;  // an overlapping window remains
+  if (kind == faults::FaultKind::kProbeStale) stale_net_.reset();
+}
+
+void FlowSimulator::close_channel(graph::EdgeId e) {
+  live_sends_.for_each([&](core::SlabHandle, LiveSend& ls) {
+    if (ls.cancelled) return;
+    for (const graph::ArcId a : ls.lock.path.arcs) {
+      if (graph::edge_of(a) != e) continue;
+      net_.fail_route(ls.lock);
+      held_amount_ -= ls.lock.total_held;
+      ls.cancelled = true;
+      ++metrics_.fault_units_failed;
+      break;
+    }
+  });
+}
+
+void FlowSimulator::fault_backoff(PaymentState& st) {
+  // Exponential backoff on fault-blocked attempts: the payment sits out
+  // 2^k poll intervals (capped at 2^6) before the retry queue considers
+  // it again, so a down endpoint is not hammered every poll.
+  const std::uint32_t exp = std::min<std::uint32_t>(st.backoff_exp, 6);
+  st.not_before =
+      events_.now() + cfg_.poll_interval * static_cast<double>(1U << exp);
+  if (st.backoff_exp < 16) ++st.backoff_exp;
+}
+
+void FlowSimulator::make_stale_snapshot() {
+  // Freeze per-side (spendable + pending) as the deposits of a shadow
+  // network; pending funds return to their offerer's side on
+  // settle-or-fail, so each side's frozen view is what a just-stale
+  // probe would have reported. Each edge's escrow is positive, so the
+  // Channel precondition (at least one positive side) always holds.
+  std::vector<std::pair<core::Amount, core::Amount>> deposits;
+  deposits.reserve(graph_.edge_count());
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const core::Channel& ch = net_.channel(e);
+    deposits.emplace_back(ch.balance(core::Side::kA) + ch.pending(core::Side::kA),
+                          ch.balance(core::Side::kB) + ch.pending(core::Side::kB));
+  }
+  stale_net_ = std::make_unique<core::ChannelNetwork>(graph_, deposits);
 }
 
 void FlowSimulator::arm_auditor() {
@@ -269,6 +430,19 @@ Metrics FlowSimulator::run(const fluid::PaymentGraph& demand_estimate) {
   if (ran_) throw std::logic_error("FlowSimulator: run called twice");
   ran_ = true;
   if (cfg_.auditor != nullptr) arm_auditor();
+  if (faults_ != nullptr) {
+    // One typed event per plan entry, scheduled up front. An empty plan
+    // schedules nothing (and the dispatcher never fires), so the event
+    // sequence -- and therefore every metric bit -- matches a simulator
+    // built without the injector.
+    events_.set_dispatcher(&FlowSimulator::dispatch, this);
+    faults_->bind(graph_);
+    const std::vector<faults::FaultEvent>& plan = faults_->plan().events();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].time > cfg_.end_time) continue;
+      events_.schedule_typed(plan[i].time, EventKind::kFaultStart, i);
+    }
+  }
   scheme_.prepare(graph_, capacity_, demand_estimate, cfg_.delta);
   metrics_.series_bucket = cfg_.series_bucket;
 

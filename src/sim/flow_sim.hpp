@@ -21,10 +21,15 @@
 #include "core/fees.hpp"
 #include "core/network.hpp"
 #include "core/scheduler.hpp"
+#include "core/slab.hpp"
 #include "core/types.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheme.hpp"
+
+namespace spider::faults {
+class FaultInjector;  // faults/injector.hpp
+}
 
 namespace spider::sim {
 
@@ -73,6 +78,18 @@ struct FlowSimConfig {
   /// drives it from the event loop. Observation-only: metrics are
   /// byte-identical either way. Must outlive run().
   InvariantAuditor* auditor = nullptr;
+
+  /// Optional fault injector (faults/injector.hpp). When set, the
+  /// simulator binds it at run() start and schedules one typed
+  /// kFaultStart event per plan entry: payments to/from down nodes wait
+  /// with exponential backoff in the retry queue, closed channels
+  /// cancel the in-flight routes crossing them (funds refund), schemes
+  /// never see fault-blocked paths as live choices, withholding
+  /// receivers delay settlement past delta, and staleness spikes freeze
+  /// the channel-state view schemes route against. An injector with an
+  /// *empty* plan schedules nothing and leaves the run byte-identical
+  /// to `faults == nullptr`. Must outlive run().
+  faults::FaultInjector* faults = nullptr;
 };
 
 class FlowSimulator {
@@ -104,7 +121,27 @@ class FlowSimulator {
     core::Amount fees_paid = 0;  // routing fees committed so far
     bool closed = false;    // atomic attempt finished / deadline passed
     bool enqueued = false;  // sitting in the retry queue
+    /// Fault backoff: consecutive fault-blocked attempts (resets on any
+    /// successful send) and the earliest poll allowed to retry.
+    std::uint32_t backoff_exp = 0;
+    TimePoint not_before = 0;
   };
+
+  /// A routed share between send() and its delayed completion. Lives in
+  /// the `live_sends_` slab -- reachable mid-flight, so a mid-run
+  /// channel closure can cancel it -- instead of being trapped inside
+  /// the completion callback's closure.
+  struct LiveSend {
+    core::RouteLock lock;
+    core::Preimage key = 0;
+    core::PaymentId pid = 0;
+    bool cancelled = false;
+  };
+
+  /// Typed-event sink; the flow simulator only receives fault events
+  /// (everything else uses the callback path).
+  static void dispatch(void* ctx, EventKind kind, std::uint64_t a,
+                       std::uint64_t b);
 
   void attempt(core::PaymentId pid);
   void attempt_atomic(PaymentState& st, core::PaymentId pid,
@@ -113,9 +150,19 @@ class FlowSimulator {
                           std::vector<RouteChoice> choices);
   void send(core::PaymentId pid, core::Amount amt, core::RouteLock&& lock,
             core::Preimage key);
-  void complete(core::PaymentId pid, const core::RouteLock& lock,
-                core::Preimage key);
+  void complete(core::SlabHandle h);
   void poll();
+  /// Fires a kFaultStart event; see PacketSimulator for the protocol.
+  void apply_fault(std::size_t index);
+  void end_fault(std::uint64_t word);
+  /// Mid-run unilateral close of edge `e`: cancels every live in-flight
+  /// route crossing it (locks fail, funds refund; chain/lifecycle.hpp
+  /// semantics) and re-queues the surviving non-atomic remainders.
+  void close_channel(graph::EdgeId e);
+  /// Applies exponential backoff after a fault-blocked attempt.
+  void fault_backoff(PaymentState& st);
+  /// Freezes the channel-state view schemes route against.
+  void make_stale_snapshot();
   void rebalance_sweep();
   void enqueue_retry(core::PaymentId pid);
   void record_series(core::Amount amount);
@@ -130,8 +177,14 @@ class FlowSimulator {
   RoutingScheme& scheme_;
   FlowSimConfig cfg_;
 
+  faults::FaultInjector* faults_;  // == cfg_.faults (hot-path alias)
+  /// Frozen per-side channel state backing scheme routing during a
+  /// probe-staleness spike; null when signals are fresh.
+  std::unique_ptr<core::ChannelNetwork> stale_net_;
+
   EventQueue events_;
   std::vector<PaymentState> payments_;
+  core::Slab<LiveSend> live_sends_;  // in-flight shares awaiting delta
   core::UnitQueue retry_queue_;
   core::Preimage next_key_ = 1;
   /// Value this simulator believes is locked in live route locks (sum

@@ -40,6 +40,21 @@ struct Metrics {
   /// fee policy is configured).
   Amount fees_paid = 0;
 
+  /// Fault-injection degradation counters (all zero unless a fault plan
+  /// is active; see src/faults/ and DESIGN.md §8). They quantify how
+  /// much adversity the run absorbed and what the graceful-degradation
+  /// machinery did about it.
+  std::uint64_t fault_events_applied = 0;   // fault-plan events fired
+  std::uint64_t fault_node_downs = 0;       // node downtime windows begun
+  std::uint64_t fault_channel_closures = 0; // channels closed mid-run
+  std::uint64_t fault_withhold_spells = 0;  // HTLC-withholding spells begun
+  std::uint64_t fault_stale_spells = 0;     // probe-staleness spikes begun
+  std::uint64_t fault_units_failed = 0;     // units/locks killed by faults
+  std::uint64_t fault_reroutes = 0;         // fault-blocked paths skipped
+  std::uint64_t fault_withheld_acks = 0;    // settlements delayed by withholding
+  std::uint64_t fault_stale_decisions = 0;  // routing calls on a stale snapshot
+  std::uint64_t fault_backoff_retries = 0;  // retries deferred by backoff
+
   /// Fraction of attempted payments that fully completed.
   [[nodiscard]] double success_ratio() const {
     return attempted == 0 ? 0.0

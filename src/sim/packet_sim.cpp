@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "faults/injector.hpp"
 #include "sim/audit.hpp"
 
 namespace spider::sim {
@@ -14,7 +16,8 @@ PacketSimulator::PacketSimulator(const graph::Graph& g,
     : graph_(g),
       capacity_(std::move(edge_capacity)),
       net_(g, capacity_),
-      cfg_(config) {
+      cfg_(config),
+      faults_(config.faults) {
   if (cfg_.mtu <= 0 || cfg_.hop_delay <= 0 || cfg_.end_time <= 0) {
     throw std::invalid_argument("PacketSimulator: bad config");
   }
@@ -63,6 +66,12 @@ void PacketSimulator::dispatch(void* ctx, EventKind kind, std::uint64_t a,
     case EventKind::kSeriesSample:
       self->sample_series();
       break;
+    case EventKind::kFaultStart:
+      self->apply_fault(static_cast<std::size_t>(a));
+      break;
+    case EventKind::kFaultEnd:
+      self->end_fault(a);
+      break;
     default:
       throw std::logic_error("PacketSimulator: unexpected event kind");
   }
@@ -105,19 +114,43 @@ const graph::Path* PacketSimulator::select_path(const core::TxUnit& unit) {
   }
   if (ps.paths.empty()) return nullptr;
   if (cfg_.path_policy == UnitPathPolicy::kRoundRobin) {
-    return &ps.paths[ps.rr++ % ps.paths.size()];
+    if (faults_ == nullptr) return &ps.paths[ps.rr++ % ps.paths.size()];
+    // Graceful degradation: walk the cursor past fault-blocked
+    // candidates (reroute around down nodes and closed channels).
+    for (std::size_t tried = 0; tried < ps.paths.size(); ++tried) {
+      const graph::Path& p = ps.paths[ps.rr++ % ps.paths.size()];
+      if (!faults_->path_blocked(p, graph_)) {
+        metrics_.fault_reroutes += tried;
+        return &p;
+      }
+    }
+    return nullptr;
   }
   // kWidest: the paper's imbalance-aware intuition -- send where the most
   // funds are available right now (waterfilling one unit at a time).
-  std::size_t best = 0;
+  // During a probe-staleness spike the availability signal is read from
+  // the snapshot frozen at spike start; locks still validate against
+  // live channel state, so only the *decision* degrades.
+  const bool stale = stale_net_ != nullptr;
+  const core::ChannelNetwork& signal = stale ? *stale_net_ : net_;
+  if (stale) ++metrics_.fault_stale_decisions;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t best = kNone;
   core::Amount best_avail = -1;
+  std::uint64_t blocked = 0;
   for (std::size_t i = 0; i < ps.paths.size(); ++i) {
-    const core::Amount avail = net_.path_available(ps.paths[i]);
+    if (faults_ != nullptr && faults_->path_blocked(ps.paths[i], graph_)) {
+      ++blocked;
+      continue;
+    }
+    const core::Amount avail = signal.path_available(ps.paths[i]);
     if (avail > best_avail) {
       best_avail = avail;
       best = i;
     }
   }
+  if (best == kNone) return nullptr;
+  metrics_.fault_reroutes += blocked;
   return &ps.paths[best];
 }
 
@@ -187,6 +220,17 @@ std::size_t PacketSimulator::backlog_units() const {
 }
 
 void PacketSimulator::launch_unit(const core::TxUnit& unit) {
+  if (faults_ != nullptr && faults_->node_down(unit.src)) {
+    // A down host originates nothing. This gate is also the fix for the
+    // latent sweep_expired hazard: failing an expired unit drains its
+    // pair's congestion-control backlog, and a relaunched unit of a
+    // down source would otherwise queue at the dead (already drained)
+    // router via advance()'s dry-channel path.
+    ++metrics_.fault_units_failed;
+    transports_[unit.src]->abandon_unit(unit.id);
+    cc_unit_left(unit.src, unit.dst, /*success=*/false);
+    return;
+  }
   const graph::Path* path = select_path(unit);
   if (path == nullptr || path->arcs.empty()) {
     transports_[unit.src]->abandon_unit(unit.id);
@@ -208,6 +252,15 @@ void PacketSimulator::advance(core::SlabHandle h) {
   UnitState* st = units_.get(h);
   if (st == nullptr) return;
   const graph::ArcId arc = st->path->arcs[st->hop];
+  if (faults_ != nullptr && (faults_->node_down(graph_.tail(arc)) ||
+                             faults_->edge_closed(graph::edge_of(arc)))) {
+    // The forwarding node is down or the channel closed under the unit:
+    // it cannot proceed or wait here, so every upstream lock fails and
+    // the funds refund (the same resolution its expiry would reach).
+    ++metrics_.fault_units_failed;
+    fail_unit(st->unit.id);
+    return;
+  }
   auto htlc = net_.channel(graph::edge_of(arc))
                   .offer_htlc(core::ChannelNetwork::arc_side(arc),
                               st->unit.amount, st->unit.lock);
@@ -248,7 +301,17 @@ void PacketSimulator::unit_reached_destination(core::SlabHandle h) {
   // travels back to the sender in one aggregate delay.
   const TimePoint ack_delay =
       cfg_.hop_delay * static_cast<double>(st.path->arcs.size());
-  events_.schedule_typed_in(ack_delay, EventKind::kAck, h.packed());
+  TimePoint withheld = 0;
+  if (faults_ != nullptr &&
+      faults_->withholding(st.unit.dst, events_.now())) {
+    // The receiver withholds its confirmation until the spell ends;
+    // every hop's hold stays pending meanwhile (the griefing the
+    // paper's Δ-bounded holds exist to bound).
+    withheld = faults_->withhold_until(st.unit.dst) - events_.now();
+    ++metrics_.fault_withheld_acks;
+  }
+  events_.schedule_typed_in(ack_delay + withheld, EventKind::kAck,
+                            h.packed());
 }
 
 void PacketSimulator::ack_unit(core::SlabHandle h) {
@@ -321,6 +384,7 @@ void PacketSimulator::fail_unit(core::TxUnitId uid) {
 }
 
 void PacketSimulator::service_arc(graph::ArcId a) {
+  if (faults_ != nullptr && faults_->node_down(graph_.tail(a))) return;
   core::Router& router = routers_[graph_.tail(a)];
   const std::size_t i = arc_local_[a];
   while (const core::QueuedUnit* top = router.peek_local(i)) {
@@ -351,6 +415,122 @@ void PacketSimulator::sweep_expired() {
     events_.schedule_typed_in(cfg_.expiry_sweep_interval,
                               EventKind::kExpirySweep);
   }
+}
+
+void PacketSimulator::apply_fault(std::size_t index) {
+  const faults::FaultInjector::Applied ap =
+      faults_->apply(index, events_.now());
+  ++metrics_.fault_events_applied;
+  if (ap.needs_end_event) {
+    events_.schedule_typed(
+        ap.until, EventKind::kFaultEnd,
+        faults::FaultInjector::pack_end(ap.kind, ap.target));
+  }
+  switch (ap.kind) {
+    case faults::FaultKind::kNodeDown:
+      ++metrics_.fault_node_downs;
+      if (ap.became_active) fail_node_queues(ap.target);
+      break;
+    case faults::FaultKind::kChannelClose:
+      ++metrics_.fault_channel_closures;
+      if (ap.became_active) close_channel(ap.target);
+      break;
+    case faults::FaultKind::kWithhold:
+      ++metrics_.fault_withhold_spells;
+      break;
+    case faults::FaultKind::kProbeStale:
+      ++metrics_.fault_stale_spells;
+      if (ap.became_active) make_stale_snapshot();
+      break;
+  }
+}
+
+void PacketSimulator::end_fault(std::uint64_t word) {
+  const faults::FaultKind kind = faults::FaultInjector::unpack_end_kind(word);
+  const std::uint32_t target = faults::FaultInjector::unpack_end_target(word);
+  if (!faults_->expire(kind, target)) return;  // overlapping window remains
+  if (kind == faults::FaultKind::kProbeStale) stale_net_.reset();
+  // A recovered node restarts with empty queues; its channels' funds
+  // are serviced organically by the next settle/fail on each arc.
+}
+
+void PacketSimulator::fail_node_queues(core::NodeId v) {
+  // A down router answers nothing, so everything it queued resolves the
+  // way expiry resolves it: the unit fails and its upstream holds
+  // refund. Cascades from fail_unit can service *other* routers but can
+  // never re-queue at `v` (launch_unit and advance are gated on
+  // node_down), so the drain terminates; the outer loop re-checks the
+  // O(1) counter in case a cascade enqueued before this sweep reached
+  // a later arc.
+  core::Router& r = routers_[v];
+  while (r.queued_units() > 0) {
+    for (std::size_t i = 0; i < r.arc_count(); ++i) {
+      while (const auto qu = r.pop_local(i)) {
+        --total_queued_units_;
+        total_queued_amount_ -= qu->amount;
+        ++metrics_.fault_units_failed;
+        fail_unit(qu->unit);
+      }
+    }
+  }
+}
+
+void PacketSimulator::close_channel(graph::EdgeId e) {
+  // Honest unilateral close (chain/lifecycle.hpp semantics): the latest
+  // commitment confirms on-chain, every HTLC pending on the channel
+  // resolves as failed -- refunding the offerer -- and no further HTLCs
+  // can be offered (edge_closed() gates advance). Handles are collected
+  // first: fail_unit mutates the slab (releases, and cc backlog drains
+  // may acquire), which for_each must not observe.
+  std::vector<core::SlabHandle> affected;
+  units_.for_each([&](core::SlabHandle h, UnitState& st) {
+    for (std::size_t i = 0; i < st.htlcs.size(); ++i) {
+      if (graph::edge_of(st.path->arcs[i]) == e) {
+        affected.push_back(h);
+        return;
+      }
+    }
+    // Units waiting in a router queue for this edge's funds can stop
+    // waiting: the funds are gone for good.
+    if (st.hop < st.path->arcs.size() && st.htlcs.size() == st.hop &&
+        graph::edge_of(st.path->arcs[st.hop]) == e) {
+      affected.push_back(h);
+    }
+  });
+  for (const core::SlabHandle h : affected) fault_kill_unit(h);
+}
+
+void PacketSimulator::fault_kill_unit(core::SlabHandle h) {
+  UnitState* st = units_.get(h);
+  if (st == nullptr) return;  // an earlier kill's cascade got it first
+  if (st->hop < st->path->arcs.size() && st->htlcs.size() == st->hop) {
+    // Waiting in a router queue: remove the entry so no ghost can block
+    // the queue head once the slab slot is released.
+    const graph::ArcId arc = st->path->arcs[st->hop];
+    if (routers_[graph_.tail(arc)].erase(arc, st->unit.id,
+                                         st->unit.amount)) {
+      --total_queued_units_;
+      total_queued_amount_ -= st->unit.amount;
+    }
+  }
+  ++metrics_.fault_units_failed;
+  fail_unit(st->unit.id);
+}
+
+void PacketSimulator::make_stale_snapshot() {
+  // Freeze the availability signal as per-side (spendable + pending):
+  // the funds each side will command once in-flight holds resolve.
+  // Summed per edge this equals the escrow total (> 0), satisfying the
+  // Channel deposit contract even when one side is fully drained.
+  std::vector<std::pair<core::Amount, core::Amount>> deposits;
+  deposits.reserve(graph_.edge_count());
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const core::Channel& ch = net_.channel(e);
+    deposits.emplace_back(
+        ch.balance(core::Side::kA) + ch.pending(core::Side::kA),
+        ch.balance(core::Side::kB) + ch.pending(core::Side::kB));
+  }
+  stale_net_ = std::make_unique<core::ChannelNetwork>(graph_, deposits);
 }
 
 void PacketSimulator::sample_series() {
@@ -413,6 +593,17 @@ Metrics PacketSimulator::run() {
   if (ran_) throw std::logic_error("PacketSimulator: run called twice");
   ran_ = true;
   if (cfg_.auditor != nullptr) arm_auditor();
+  if (faults_ != nullptr) {
+    // One typed event per plan entry, scheduled up front. An empty plan
+    // schedules nothing, so the event sequence -- and therefore every
+    // metric bit -- matches a simulator built without the injector.
+    faults_->bind(graph_);
+    const std::vector<faults::FaultEvent>& plan = faults_->plan().events();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].time > cfg_.end_time) continue;
+      events_.schedule_typed(plan[i].time, EventKind::kFaultStart, i);
+    }
+  }
   payment_units_.resize(requests_.size());
   for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {
     const core::PaymentRequest& req = requests_[pid];

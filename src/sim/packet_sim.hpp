@@ -39,6 +39,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
+namespace spider::faults {
+class FaultInjector;  // faults/injector.hpp
+}
+
 namespace spider::sim {
 
 class InvariantAuditor;  // sim/audit.hpp
@@ -80,6 +84,18 @@ struct PacketSimConfig {
   /// loop. Observation-only: metrics are byte-identical either way.
   /// Must outlive run().
   InvariantAuditor* auditor = nullptr;
+
+  /// Optional fault injector (faults/injector.hpp). When set, the
+  /// simulator binds it at run() start and schedules one typed
+  /// kFaultStart event per plan entry: down nodes neither forward nor
+  /// originate (their queues fail via the expiry machinery and path
+  /// selection reroutes around them), closed channels fail their
+  /// pending HTLCs and accept no new ones, withholding receivers delay
+  /// confirmations, and probe-staleness spikes freeze the widest-path
+  /// availability signal. An injector with an *empty* plan schedules
+  /// nothing and leaves the run byte-identical to `faults == nullptr`.
+  /// Must outlive run().
+  faults::FaultInjector* faults = nullptr;
 };
 
 class PacketSimulator {
@@ -170,6 +186,24 @@ class PacketSimulator {
   void service_arc(graph::ArcId a);
   void sweep_expired();
   void sample_series();
+  /// Fires a kFaultStart event: flips injector state, schedules the
+  /// matching kFaultEnd, and applies the immediate consequences.
+  void apply_fault(std::size_t index);
+  /// Fires a kFaultEnd event (payload = FaultInjector::pack_end word).
+  void end_fault(std::uint64_t word);
+  /// Drains a freshly-down node's router queues through the expiry
+  /// failure path (paper: a crashed router answers nothing, so its
+  /// queued units' upstream locks time out and refund).
+  void fail_node_queues(core::NodeId v);
+  /// Mid-run unilateral close of edge `e` (chain::lifecycle semantics):
+  /// every unit holding or waiting on the channel fails, refunding the
+  /// offerers; edge_closed() gates any new offers.
+  void close_channel(graph::EdgeId e);
+  /// Fails one fault-affected unit, first removing its router-queue
+  /// entry (if any) so no ghost entry can block a queue head.
+  void fault_kill_unit(core::SlabHandle h);
+  /// Freezes the widest-path availability signal for a staleness spike.
+  void make_stale_snapshot();
   /// Registers the auditor's network binding and the packet-sim
   /// specific checks (router queue counters vs running totals).
   void arm_auditor();
@@ -181,6 +215,10 @@ class PacketSimulator {
   std::vector<core::Amount> capacity_;
   core::ChannelNetwork net_;
   PacketSimConfig cfg_;
+  faults::FaultInjector* faults_;  // == cfg_.faults (hot-path alias)
+  /// Frozen per-side channel state backing routing decisions during a
+  /// probe-staleness spike; null when signals are fresh.
+  std::unique_ptr<core::ChannelNetwork> stale_net_;
 
   EventQueue events_;
   std::vector<core::PaymentRequest> requests_;

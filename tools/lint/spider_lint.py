@@ -46,6 +46,15 @@ UNORDERED_VAR_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+"
     r"([A-Za-z_][A-Za-z0-9_]*)\s*[;{=(]"
 )
+# Fault-injection vocabulary (src/faults/ public types).
+FAULT_TYPE_RE = re.compile(r"\bFault(?:Plan|Profile|Event|Injector|Kind)\b")
+# Construction of a std RNG engine or distribution.
+STD_RNG_RE = re.compile(
+    r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux\w+|knuth_b"
+    r"|(?:uniform_(?:int|real)|exponential|poisson|normal|lognormal"
+    r"|bernoulli|geometric|binomial|discrete)_distribution)\b"
+)
 
 
 class Finding(NamedTuple):
@@ -96,6 +105,12 @@ RULES = [
         "ptr-key-order",
         "ordered container keyed by a pointer: pointer order depends on "
         "the allocator and varies run to run",
+    ),
+    Rule(
+        "fault-sampling",
+        "ad-hoc RNG next to fault types outside src/faults/: fault "
+        "schedules must come from faults::generate_plan (per-kind salted "
+        "streams), never from a local engine",
     ),
 ]
 
@@ -160,6 +175,14 @@ class FileLinter:
         for code in self.code_lines:
             for m in UNORDERED_VAR_RE.finditer(code):
                 self.unordered_vars.add(m.group(1))
+        # Fault sampling is a whole-file condition: the file talks about
+        # fault types AND rolls its own RNG. Inside src/faults/ the
+        # seeded generator is exactly where that randomness belongs.
+        norm = path.replace(os.sep, "/")
+        self.in_faults_dir = "/faults/" in norm or norm.startswith("faults/")
+        self.mentions_fault_types = any(
+            FAULT_TYPE_RE.search(code) for code in self.code_lines
+        )
 
     def is_allowed(self, lineno: int, rule: str) -> bool:
         """True if line `lineno` (0-based) carries or inherits an
@@ -184,6 +207,7 @@ class FileLinter:
             self.check_wall_clock(i, code)
             self.check_float(i, code)
             self.check_ptr_key(i, code)
+            self.check_fault_sampling(i, code)
         return self.findings
 
     def check_unordered(self, i: int, code: str) -> None:
@@ -254,6 +278,22 @@ class FileLinter:
                 "float-accum",
                 "`float` in simulation code: accumulate in double or "
                 "integer milli-units (Amount)",
+            )
+
+    def check_fault_sampling(self, i: int, code: str) -> None:
+        # A file that names fault types AND constructs a std RNG engine
+        # or distribution is sampling fault schedules ad hoc. All fault
+        # randomness lives in faults::generate_plan, whose per-kind
+        # salted streams keep schedules reproducible and independent.
+        if self.in_faults_dir or not self.mentions_fault_types:
+            return
+        if STD_RNG_RE.search(code):
+            self.report(
+                i,
+                "fault-sampling",
+                "std RNG constructed in a file that uses fault types; "
+                "derive fault schedules from faults::generate_plan, not "
+                "a local engine",
             )
 
     def check_ptr_key(self, i: int, code: str) -> None:

@@ -1,0 +1,14 @@
+// Golden fixture: ad-hoc fault sampling outside src/faults/. The file
+// names a fault type and rolls its own engine/distribution -- fault
+// schedules must come from faults::generate_plan instead.
+#include <random>
+
+#include "faults/fault_plan.hpp"
+
+spider::faults::FaultPlan improvise_faults(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(0.1);
+  spider::faults::FaultPlan plan;
+  plan.add({gap(rng), spider::faults::FaultKind::kNodeDown, 0, 1.0});
+  return plan;
+}

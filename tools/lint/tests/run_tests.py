@@ -62,6 +62,7 @@ def main() -> int:
     expect_fires("bad_wall_clock.cpp", ["wall-clock"])
     expect_fires("bad_float.cpp", ["float-accum"])
     expect_fires("bad_ptr_key.cpp", ["ptr-key-order"])
+    expect_fires("bad_fault_sampling.cpp", ["fault-sampling"])
     expect_clean("good_allowlist.cpp")
     expect_clean("good_clean.cpp")
 
@@ -71,6 +72,12 @@ def main() -> int:
     code, out = run_lint(os.path.join(HERE, "bad_wall_clock.cpp"))
     check("bad_wall_clock.cpp: 3 findings", out.count("[wall-clock]") == 3, out)
     check("bad_wall_clock.cpp: steady_clock line clean", ":10:" not in out, out)
+
+    # The seeded generator is the sanctioned home for fault randomness:
+    # the same engine+fault-type combination must NOT fire under
+    # src/faults/ itself.
+    code, out = run_lint(os.path.join(REPO, "src", "faults", "fault_profile.cpp"))
+    check("src/faults/ exempt from fault-sampling", code == 0, out)
 
     # A marker for the wrong rule must NOT suppress the finding.
     with tempfile.TemporaryDirectory() as td:
