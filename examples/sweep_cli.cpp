@@ -36,6 +36,13 @@ struct CliOptions {
   std::size_t seeds = 0;
   std::size_t txns = 0;
   std::uint64_t base_seed = 0;
+  double deadline = 0.0;
+  double mtu_units = 0.0;
+  double cc_win0 = 0.0;
+  double cc_wmax = 0.0;
+  double cc_alpha = 0.0;
+  double cc_beta = 0.0;
+  double cc_thresh = 0.0;
   bool collect_series = false;
   bool audit = false;
   std::string faults;
@@ -59,10 +66,16 @@ std::vector<std::string> split_csv(const std::string& s) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--sweep tiny|fig6|fig7] [--threads N] [--json PATH]\n"
-      "          [--csv PATH] [--schemes a,b,...] [--topologies a,b,...]\n"
-      "          [--seeds K] [--txns N] [--base-seed S] [--series]\n"
+      "usage: %s [--sweep tiny|fig6|fig7|spidercc] [--threads N]\n"
+      "          [--json PATH] [--csv PATH] [--schemes a,b,...]\n"
+      "          [--topologies a,b,...] [--seeds K] [--txns N]\n"
+      "          [--base-seed S] [--deadline T] [--mtu UNITS] [--series]\n"
       "          [--audit] [--faults SPEC]\n"
+      "  --deadline: per-payment deadline offset from arrival (0 = none)\n"
+      "  --mtu: transaction-unit size for packet-backed schemes\n"
+      "         (spider-cc runs on the packet simulator)\n"
+      "  --cc-win0/--cc-wmax/--cc-alpha/--cc-beta/--cc-thresh:\n"
+      "         spider-cc AIMD/marking overrides (0 = built-in default)\n"
       "  --faults: fault-profile spec applied to every trial, e.g.\n"
       "            'churn=0.05;downtime=5;close=0.01;seed=7'\n"
       "            (keys: churn downtime close withhold hold stale\n"
@@ -96,6 +109,20 @@ CliOptions parse(int argc, char** argv) {
       opt.txns = static_cast<std::size_t>(std::atoll(value()));
     } else if (std::strcmp(argv[i], "--base-seed") == 0) {
       opt.base_seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      opt.deadline = std::atof(value());
+    } else if (std::strcmp(argv[i], "--mtu") == 0) {
+      opt.mtu_units = std::atof(value());
+    } else if (std::strcmp(argv[i], "--cc-win0") == 0) {
+      opt.cc_win0 = std::atof(value());
+    } else if (std::strcmp(argv[i], "--cc-wmax") == 0) {
+      opt.cc_wmax = std::atof(value());
+    } else if (std::strcmp(argv[i], "--cc-alpha") == 0) {
+      opt.cc_alpha = std::atof(value());
+    } else if (std::strcmp(argv[i], "--cc-beta") == 0) {
+      opt.cc_beta = std::atof(value());
+    } else if (std::strcmp(argv[i], "--cc-thresh") == 0) {
+      opt.cc_thresh = std::atof(value());
     } else if (std::strcmp(argv[i], "--series") == 0) {
       opt.collect_series = true;
     } else if (std::strcmp(argv[i], "--audit") == 0) {
@@ -128,6 +155,16 @@ exp::SweepConfig named_sweep(const std::string& name) {
     cfg.capacities_units = {1000, 2000, 3000, 5000, 10000};
     cfg.txns = 12000;
     cfg.end_time = 200.0;
+  } else if (name == "spidercc") {
+    // Spider-cc (packet-level AIMD/marking) against its fluid ancestor
+    // on the fig-6 grid; the deadline bounds how long a unit may sit in
+    // router queues before its locks refund (paper §4.1).
+    cfg.schemes = {"spider-cc", "spider-waterfilling"};
+    cfg.topologies = {"isp32", "ripple-400"};
+    cfg.capacities_units = {3000.0};
+    cfg.txns = 20000;
+    cfg.end_time = 200.0;
+    cfg.deadline_offset = 20.0;
   } else {
     std::fprintf(stderr, "unknown sweep: %s\n", name.c_str());
     std::exit(2);
@@ -143,6 +180,13 @@ int run(int argc, char** argv) {
   if (opt.seeds > 0) cfg.seeds = opt.seeds;
   if (opt.txns > 0) cfg.txns = opt.txns;
   if (opt.base_seed > 0) cfg.base_seed = opt.base_seed;
+  if (opt.deadline > 0) cfg.deadline_offset = opt.deadline;
+  if (opt.mtu_units > 0) cfg.mtu_units = opt.mtu_units;
+  if (opt.cc_win0 > 0) cfg.cc_initial_window = opt.cc_win0;
+  if (opt.cc_wmax > 0) cfg.cc_max_window = opt.cc_wmax;
+  if (opt.cc_alpha > 0) cfg.cc_alpha = opt.cc_alpha;
+  if (opt.cc_beta > 0) cfg.cc_beta = opt.cc_beta;
+  if (opt.cc_thresh > 0) cfg.cc_mark_threshold = opt.cc_thresh;
   cfg.collect_series = opt.collect_series;
   cfg.audit = opt.audit;
   cfg.faults = opt.faults;

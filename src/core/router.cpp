@@ -12,6 +12,38 @@ void Router::bind(std::span<const ArcId> out_arcs) {
   for (std::size_t i = 0; i < arcs_.size(); ++i) queues_.emplace_back(policy_);
   units_ = 0;
   amount_ = 0;
+  if (marking_.enabled) {
+    delay_ewma_.assign(arcs_.size(), 0.0);
+    mark_bit_.assign(arcs_.size(), 0);
+  }
+}
+
+void Router::configure_marking(const MarkingConfig& mc) {
+  if (mc.enabled &&
+      (mc.threshold <= 0 || mc.unmark_fraction < 0 ||
+       mc.unmark_fraction > 1 || mc.ewma_gain <= 0 || mc.ewma_gain > 1)) {
+    throw std::invalid_argument("Router::configure_marking: bad config");
+  }
+  marking_ = mc;
+  delay_ewma_.assign(marking_.enabled ? arcs_.size() : 0, 0.0);
+  mark_bit_.assign(marking_.enabled ? arcs_.size() : 0, 0);
+  mark_transitions_ = 0;
+}
+
+bool Router::observe_delay_local(std::size_t i, TimePoint delay) {
+  if (!marking_.enabled) return false;
+  double& ewma = delay_ewma_[i];
+  ewma += marking_.ewma_gain * (delay - ewma);
+  char& bit = mark_bit_[i];
+  if (bit == 0) {
+    if (ewma > marking_.threshold) {
+      bit = 1;
+      ++mark_transitions_;
+    }
+  } else if (ewma < marking_.threshold * marking_.unmark_fraction) {
+    bit = 0;
+  }
+  return bit != 0;
 }
 
 std::size_t Router::local_index(ArcId a) const {

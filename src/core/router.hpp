@@ -14,6 +14,7 @@
 // the simulator's expiry sweep and telemetry sampling never walk queues.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -22,6 +23,25 @@
 #include "core/types.hpp"
 
 namespace spider::core {
+
+/// One-bit congestion marking (Spider NSDI version, arXiv:1809.05088
+/// §5): the router estimates the queueing delay of each outgoing
+/// channel with an EWMA over observed per-unit delays and sets a single
+/// mark bit once the estimate exceeds `threshold`. The bit clears only
+/// after the estimate falls below `threshold * unmark_fraction`
+/// (hysteresis, so the signal does not chatter around the threshold).
+/// Disabled routers skip the estimator entirely -- the packet-sim hot
+/// path stays untouched when no scheme consumes the marks.
+struct MarkingConfig {
+  bool enabled = false;
+  /// Queue-delay estimate (seconds) above which units get marked.
+  TimePoint threshold = 0.3;
+  /// The mark clears below `threshold * unmark_fraction`.
+  double unmark_fraction = 0.5;
+  /// EWMA weight of each new delay sample (fixed-order updates keep the
+  /// estimate a pure function of the observation sequence).
+  double ewma_gain = 0.25;
+};
 
 class Router {
  public:
@@ -79,6 +99,31 @@ class Router {
   /// minimum deadline); O(1) when this router queues nothing at all.
   std::vector<QueuedUnit> drop_expired(TimePoint now);
 
+  /// Enables (or reconfigures) one-bit congestion marking for the bound
+  /// arcs. Call after bind(); rebinding resets the estimator state.
+  void configure_marking(const MarkingConfig& mc);
+  [[nodiscard]] const MarkingConfig& marking() const { return marking_; }
+
+  /// Feeds one queue-delay sample for local out-arc `i` into the
+  /// estimator (`delay` = 0 for units forwarded without queueing) and
+  /// returns the mark bit *after* the update -- the bit a unit departing
+  /// now is stamped with. No-op (returns false) while marking is
+  /// disabled.
+  bool observe_delay_local(std::size_t i, TimePoint delay);
+
+  /// Current mark bit / delay estimate of local out-arc `i`.
+  [[nodiscard]] bool marked_local(std::size_t i) const {
+    return marking_.enabled && mark_bit_[i] != 0;
+  }
+  [[nodiscard]] double delay_estimate_local(std::size_t i) const {
+    return marking_.enabled ? delay_ewma_[i] : 0.0;
+  }
+
+  /// Times any arc's mark bit flipped from clear to set (telemetry).
+  [[nodiscard]] std::uint64_t mark_transitions() const {
+    return mark_transitions_;
+  }
+
  private:
   NodeId id_;
   SchedulingPolicy policy_;
@@ -86,6 +131,12 @@ class Router {
   std::vector<UnitQueue> queues_;  // indexed by local out-arc index
   std::size_t units_ = 0;          // running sum of queues_[i].size()
   Amount amount_ = 0;              // running sum of queues_[i].total_amount()
+
+  // One-bit marking state (sized like queues_ while enabled).
+  MarkingConfig marking_;
+  std::vector<double> delay_ewma_;  // per-arc queue-delay estimate
+  std::vector<char> mark_bit_;      // per-arc hysteresis mark bit
+  std::uint64_t mark_transitions_ = 0;
 };
 
 }  // namespace spider::core

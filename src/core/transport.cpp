@@ -61,7 +61,8 @@ const std::vector<TxUnit>& Transport::begin_payment(PaymentId id,
   return payments_.back().units;
 }
 
-std::vector<KeyRelease> Transport::confirm_unit(TxUnitId unit, TimePoint now) {
+std::vector<KeyRelease> Transport::confirm_unit(TxUnitId unit, TimePoint now,
+                                                bool marked) {
   OutPayment* found = find_payment(unit.payment);
   if (found == nullptr) {
     throw std::invalid_argument("Transport::confirm_unit: unknown payment");
@@ -77,6 +78,11 @@ std::vector<KeyRelease> Transport::confirm_unit(TxUnitId unit, TimePoint now) {
   op.confirmed[unit.seq] = 1;
   op.confirmed_amount += op.units[unit.seq].amount;
   ++op.confirmed_count;
+  if (marked) {
+    ++marked_confirms_;
+  } else {
+    ++clean_confirms_;
+  }
 
   std::vector<KeyRelease> releases;
   if (op.request.kind == PaymentKind::kNonAtomic) {

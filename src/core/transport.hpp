@@ -11,6 +11,7 @@
 //    units;
 //  * atomic: all keys released together only when every unit confirmed.
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <random>
@@ -55,7 +56,20 @@ class Transport {
   /// releases as a consequence (see file comment). Confirmations after
   /// the payment deadline release nothing (§4.1: the sender "can withhold
   /// the key for in-flight transactions that arrive after the deadline").
-  std::vector<KeyRelease> confirm_unit(TxUnitId unit, TimePoint now);
+  /// `marked` carries the unit's one-bit congestion mark (routers stamp
+  /// it en route); the transport tallies marked vs clean confirmations
+  /// so end hosts can drive per-path rate control off the signal.
+  std::vector<KeyRelease> confirm_unit(TxUnitId unit, TimePoint now,
+                                       bool marked = false);
+
+  /// Registered confirmations that carried / did not carry the
+  /// congestion mark (duplicates and post-deadline arrivals excluded).
+  [[nodiscard]] std::uint64_t marked_confirms() const {
+    return marked_confirms_;
+  }
+  [[nodiscard]] std::uint64_t clean_confirms() const {
+    return clean_confirms_;
+  }
 
   /// A unit's route failed permanently (no funds / cancelled); the unit
   /// will never be confirmed. Used for accounting.
@@ -113,6 +127,8 @@ class Transport {
   std::mt19937_64 rng_;  // key generator (same draw order as HtlcKeyRing)
   std::deque<OutPayment> payments_;
   std::vector<std::uint32_t> slot_of_;  // id -> index+1 (0 = absent)
+  std::uint64_t marked_confirms_ = 0;
+  std::uint64_t clean_confirms_ = 0;
 };
 
 }  // namespace spider::core

@@ -9,8 +9,10 @@
 // Header-only and dependency-free on purpose: sim::Metrics embeds one,
 // and src/sim must not link against the experiment library.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace spider::exp {
@@ -34,6 +36,8 @@ class Histogram {
     counts_[index_of(v)] += 1;
     ++count_;
     sum_ += v;
+    if (v < lo_) lo_ = v;
+    if (v > hi_) hi_ = v;
   }
 
   /// Adds another histogram with identical bucketing (used to aggregate
@@ -48,6 +52,8 @@ class Histogram {
     }
     count_ += other.count_;
     sum_ += other.sum_;
+    if (other.lo_ < lo_) lo_ = other.lo_;
+    if (other.hi_ > hi_) hi_ = other.hi_;
   }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
@@ -58,7 +64,12 @@ class Histogram {
 
   /// Value at quantile q in [0, 1]: the representative value (geometric
   /// bucket midpoint) of the bucket holding the ceil(q * count)-th
-  /// smallest sample. Returns 0 on an empty histogram.
+  /// smallest sample, clamped to the true [min, max] of the inserted
+  /// samples. The clamp removes the bucket-midpoint bias at the
+  /// distribution's edges; in particular a single-valued distribution
+  /// (e.g. the flow model's constant-delta atomic completions) reports
+  /// the exact value at every quantile instead of its bucket midpoint.
+  /// Returns 0 on an empty histogram.
   [[nodiscard]] double quantile(double q) const {
     if (count_ == 0) return 0.0;
     if (q < 0.0) q = 0.0;
@@ -69,9 +80,11 @@ class Histogram {
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       cum += counts_[i];
-      if (cum >= target) return representative(i);
+      if (cum >= target) {
+        return std::min(hi_, std::max(lo_, representative(i)));
+      }
     }
-    return max_;  // unreachable with count_ > 0
+    return hi_;  // unreachable with count_ > 0
   }
 
   [[nodiscard]] double p50() const { return quantile(0.50); }
@@ -90,14 +103,21 @@ class Histogram {
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
     return counts_;
   }
+  /// Smallest / largest inserted sample (0 when empty; serialization
+  /// never has to round-trip the +-infinity sentinels).
+  [[nodiscard]] double min_seen() const { return count_ == 0 ? 0.0 : lo_; }
+  [[nodiscard]] double max_seen() const { return count_ == 0 ? 0.0 : hi_; }
   /// Restores raw state from a deserialized snapshot; `counts` must have
-  /// the size this histogram's bucketing implies.
+  /// the size this histogram's bucketing implies. `min_seen`/`max_seen`
+  /// are ignored when `count` is zero.
   void restore(std::vector<std::uint64_t> counts, std::uint64_t count,
-               double sum) {
+               double sum, double min_seen, double max_seen) {
     if (counts.size() != counts_.size()) return;
     counts_ = std::move(counts);
     count_ = count;
     sum_ = sum;
+    lo_ = count == 0 ? kInf : min_seen;
+    hi_ = count == 0 ? -kInf : max_seen;
   }
 
   friend bool operator==(const Histogram&, const Histogram&) = default;
@@ -135,12 +155,16 @@ class Histogram {
     return std::sqrt(lo * hi);
   }
 
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
   double min_;
   double max_;
   int per_decade_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  double lo_ = kInf;    // smallest inserted sample
+  double hi_ = -kInf;   // largest inserted sample
 };
 
 }  // namespace spider::exp

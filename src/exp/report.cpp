@@ -347,6 +347,8 @@ Json histogram_to_json(const Histogram& h) {
   j.set("buckets_per_decade", h.buckets_per_decade());
   j.set("count", h.count());
   j.set("sum", h.sum());
+  j.set("min_seen", h.min_seen());
+  j.set("max_seen", h.max_seen());
   // Sparse [bucket_index, count] pairs: latency histograms are mostly
   // empty buckets.
   Json counts = Json::array();
@@ -376,7 +378,8 @@ Histogram histogram_from_json(const Json& j) {
     counts[idx] = pair.at(1).as_uint();
   }
   h.restore(std::move(counts), j.at("count").as_uint(),
-            j.at("sum").as_double());
+            j.at("sum").as_double(), j.at("min_seen").as_double(),
+            j.at("max_seen").as_double());
   return h;
 }
 
@@ -422,6 +425,9 @@ Json metrics_to_json(const sim::Metrics& m) {
   j.set("fault_withheld_acks", m.fault_withheld_acks);
   j.set("fault_stale_decisions", m.fault_stale_decisions);
   j.set("fault_backoff_retries", m.fault_backoff_retries);
+  j.set("cc_marked_acks", m.cc_marked_acks);
+  j.set("cc_window_decreases", m.cc_window_decreases);
+  j.set("cc_timeout_retries", m.cc_timeout_retries);
   // Derived values, for report consumers (ignored by metrics_from_json).
   j.set("success_ratio", m.success_ratio());
   j.set("success_volume", m.success_volume());
@@ -466,6 +472,9 @@ sim::Metrics metrics_from_json(const Json& j) {
   m.fault_withheld_acks = j.at("fault_withheld_acks").as_uint();
   m.fault_stale_decisions = j.at("fault_stale_decisions").as_uint();
   m.fault_backoff_retries = j.at("fault_backoff_retries").as_uint();
+  m.cc_marked_acks = j.at("cc_marked_acks").as_uint();
+  m.cc_window_decreases = j.at("cc_window_decreases").as_uint();
+  m.cc_timeout_retries = j.at("cc_timeout_retries").as_uint();
   m.latency_hist = histogram_from_json(j.at("latency_hist"));
   m.series_bucket = j.at("series_bucket").as_double();
   m.delivered_series = double_series_from_json(j.at("delivered_series"));
@@ -487,6 +496,7 @@ std::string metrics_csv_header() {
          "fault_node_downs,fault_channel_closures,fault_withhold_spells,"
          "fault_stale_spells,fault_units_failed,fault_reroutes,"
          "fault_withheld_acks,fault_stale_decisions,fault_backoff_retries,"
+         "cc_marked_acks,cc_window_decreases,cc_timeout_retries,"
          "success_ratio,success_volume,"
          "mean_completion_latency,latency_p50,latency_p95,latency_p99";
 }
@@ -528,6 +538,9 @@ std::string metrics_csv_row(const sim::Metrics& m) {
   add_u(m.fault_withheld_acks);
   add_u(m.fault_stale_decisions);
   add_u(m.fault_backoff_retries);
+  add_u(m.cc_marked_acks);
+  add_u(m.cc_window_decreases);
+  add_u(m.cc_timeout_retries);
   add_d(m.success_ratio());
   add_d(m.success_volume());
   add_d(m.mean_completion_latency());
@@ -549,9 +562,9 @@ sim::Metrics metrics_from_csv_row(const std::string& row) {
     }
   }
   cols.push_back(cur);
-  constexpr std::size_t kColumns = 29;
+  constexpr std::size_t kColumns = 32;
   if (cols.size() != kColumns) {
-    throw std::runtime_error("metrics_from_csv_row: expected 29 columns, got " +
+    throw std::runtime_error("metrics_from_csv_row: expected 32 columns, got " +
                              std::to_string(cols.size()));
   }
   const auto get_u = [&](std::size_t i) -> std::uint64_t {
@@ -593,7 +606,10 @@ sim::Metrics metrics_from_csv_row(const std::string& row) {
   m.fault_withheld_acks = get_u(20);
   m.fault_stale_decisions = get_u(21);
   m.fault_backoff_retries = get_u(22);
-  // Columns 23..28 are derived values; recomputed from the fields above.
+  m.cc_marked_acks = get_u(23);
+  m.cc_window_decreases = get_u(24);
+  m.cc_timeout_retries = get_u(25);
+  // Columns 26..31 are derived values; recomputed from the fields above.
   return m;
 }
 

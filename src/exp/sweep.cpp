@@ -10,6 +10,7 @@
 #include "schemes/schemes.hpp"
 #include "sim/audit.hpp"
 #include "sim/flow_sim.hpp"
+#include "sim/packet_sim.hpp"
 #include "workload/workload.hpp"
 
 namespace spider::exp {
@@ -46,6 +47,63 @@ graph::Graph make_named_topology(const std::string& name) {
   throw std::invalid_argument("make_named_topology: unknown topology " + name);
 }
 
+namespace {
+
+/// Packet-simulator-backed trial: spider-cc's marking/AIMD dynamics are
+/// per-unit by nature, so its trials run the sweep's topology + trace on
+/// sim::PacketSimulator (cc_mode kSpiderCc) instead of the flow model;
+/// "packet-widest" runs the same simulator with congestion control off
+/// as the ungated waterfilling baseline. The auditor/injector wiring
+/// mirrors the flow branch.
+sim::Metrics run_packet_trial(const TrialSpec& spec, const graph::Graph& g,
+                              const workload::Trace& trace,
+                              sim::InvariantAuditor* auditor,
+                              faults::FaultInjector* injector) {
+  sim::PacketSimConfig cfg;
+  cfg.end_time = spec.end_time;
+  cfg.mtu = core::from_units(spec.mtu_units);
+  if (spec.scheme == "spider-cc") {
+    cfg.cc_mode = sim::CongestionControlMode::kSpiderCc;
+    // Scheme-level window defaults, tuned on the fig-6 grid (see
+    // EXPERIMENTS.md). They are wider than the legacy failure-window
+    // mode's config defaults because per-launch HTLC timeouts make
+    // window overshoot recoverable: a too-aggressive launch refunds its
+    // locks and retries instead of gridlocking the network.
+    cfg.cc_initial_window = 32.0;
+    cfg.cc_max_window = 512.0;
+    cfg.cc_alpha = 4.0;
+  }
+  if (spec.cc_initial_window > 0) cfg.cc_initial_window = spec.cc_initial_window;
+  if (spec.cc_max_window > 0) cfg.cc_max_window = spec.cc_max_window;
+  if (spec.cc_alpha > 0) cfg.cc_alpha = spec.cc_alpha;
+  if (spec.cc_beta > 0) cfg.cc_beta = spec.cc_beta;
+  if (spec.cc_mark_threshold > 0) cfg.cc_mark_threshold = spec.cc_mark_threshold;
+  cfg.seed = spec.workload_seed;
+  cfg.collect_series = spec.collect_series;
+  cfg.series_bucket = spec.series_bucket;
+  cfg.auditor = auditor;
+  cfg.faults = injector;
+  sim::PacketSimulator ps(
+      g,
+      std::vector<core::Amount>(g.edge_count(),
+                                core::from_units(spec.capacity_units)),
+      cfg);
+  for (const workload::Transaction& tx : trace) {
+    core::PaymentRequest req;
+    req.src = tx.src;
+    req.dst = tx.dst;
+    req.amount = tx.amount;
+    req.arrival = tx.arrival;
+    if (spec.deadline_offset > 0) {
+      req.deadline = tx.arrival + spec.deadline_offset;
+    }
+    ps.submit(req);
+  }
+  return ps.run();
+}
+
+}  // namespace
+
 TrialResult run_trial(const TrialSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -57,6 +115,32 @@ TrialResult run_trial(const TrialSpec& spec) {
           : workload::isp_workload(spec.txns, spec.end_time,
                                    spec.workload_seed);
   const workload::Trace trace = workload::generate_trace(g, wc);
+
+  if (schemes::packet_backed_scheme(spec.scheme)) {
+    sim::InvariantAuditor auditor;
+    faults::FaultInjector injector;
+    faults::FaultInjector* inj = nullptr;
+    if (!spec.faults.empty()) {
+      faults::FaultProfile profile = faults::parse_profile(spec.faults);
+      if (profile.horizon <= 0) profile.horizon = spec.end_time;
+      injector = faults::FaultInjector(faults::generate_plan(profile, g));
+      inj = &injector;
+    }
+    TrialResult r;
+    r.spec = spec;
+    r.metrics = run_packet_trial(spec, g, trace,
+                                 spec.audit ? &auditor : nullptr, inj);
+    if (spec.audit && !auditor.ok()) {
+      throw std::runtime_error("trial " + spec.scheme + "/" + spec.topology +
+                               " failed invariant audit: " +
+                               auditor.summary());
+    }
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return r;
+  }
+
   const fluid::PaymentGraph demand =
       workload::estimate_demand(g.node_count(), trace, spec.end_time);
 
@@ -136,6 +220,13 @@ std::vector<TrialSpec> make_trials(const SweepConfig& cfg) {
           t.capacity_units = cap;
           t.delta = cfg.delta;
           t.max_retries_per_poll = cfg.max_retries_per_poll;
+          t.deadline_offset = cfg.deadline_offset;
+          t.mtu_units = cfg.mtu_units;
+          t.cc_initial_window = cfg.cc_initial_window;
+          t.cc_max_window = cfg.cc_max_window;
+          t.cc_alpha = cfg.cc_alpha;
+          t.cc_beta = cfg.cc_beta;
+          t.cc_mark_threshold = cfg.cc_mark_threshold;
           t.collect_series = cfg.collect_series;
           t.series_bucket = cfg.series_bucket;
           t.audit = cfg.audit;

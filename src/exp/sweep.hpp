@@ -41,6 +41,16 @@ struct TrialSpec {
   core::SchedulingPolicy retry_policy = core::SchedulingPolicy::kSrpt;
   /// Per-payment deadline offset from arrival; <= 0 means no deadline.
   double deadline_offset = 0.0;
+  /// Transaction-unit MTU for packet-simulator-backed trials (see
+  /// below); flow trials ignore it.
+  double mtu_units = 10.0;
+  /// Spider-cc overrides for packet-backed trials; 0 keeps the
+  /// PacketSimConfig default for that knob (flow trials ignore these).
+  double cc_initial_window = 0.0;
+  double cc_max_window = 0.0;
+  double cc_alpha = 0.0;
+  double cc_beta = 0.0;
+  double cc_mark_threshold = 0.0;
   bool collect_series = false;
   double series_bucket = 5.0;
   /// Run the trial under a sim::InvariantAuditor (conservation, queue
@@ -69,7 +79,12 @@ struct TrialResult {
 [[nodiscard]] graph::Graph make_named_topology(const std::string& name);
 
 /// Runs one trial start to finish (topology + trace generation, scheme
-/// prepare, flow simulation) and returns its metrics.
+/// prepare, simulation) and returns its metrics. Most schemes run on
+/// the flow simulator; schemes whose dynamics are inherently
+/// packet-level (schemes::packet_backed_scheme, currently "spider-cc")
+/// run the identical topology + trace on sim::PacketSimulator instead,
+/// so one sweep grid compares fluid schemes against the deployable
+/// protocol on paired traces.
 [[nodiscard]] TrialResult run_trial(const TrialSpec& spec);
 
 /// Runs every trial on the runner's pool; results in trial order.
@@ -91,6 +106,17 @@ struct SweepConfig {
   double end_time = 200.0;
   double delta = 0.5;
   std::size_t max_retries_per_poll = 2000;
+  /// Per-payment deadline offset (TrialSpec::deadline_offset).
+  double deadline_offset = 0.0;
+  /// Unit MTU for packet-backed trials (TrialSpec::mtu_units).
+  double mtu_units = 10.0;
+  /// Spider-cc knob overrides (TrialSpec fields of the same names;
+  /// 0 = keep the PacketSimConfig default).
+  double cc_initial_window = 0.0;
+  double cc_max_window = 0.0;
+  double cc_alpha = 0.0;
+  double cc_beta = 0.0;
+  double cc_mark_threshold = 0.0;
   bool collect_series = false;
   double series_bucket = 5.0;
   /// Audit every trial (TrialSpec::audit).

@@ -165,6 +165,7 @@ std::unique_ptr<RoutingScheme> make_scheme(const std::string& name) {
   if (name == "spider-primal-dual") {
     return std::make_unique<SpiderPrimalDualScheme>();
   }
+  if (name == "spider-cc") return std::make_unique<SpiderCcScheme>();
   throw std::invalid_argument("make_scheme: unknown scheme '" + name + "'");
 }
 

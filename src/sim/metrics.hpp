@@ -55,6 +55,15 @@ struct Metrics {
   std::uint64_t fault_stale_decisions = 0;  // routing calls on a stale snapshot
   std::uint64_t fault_backoff_retries = 0;  // retries deferred by backoff
 
+  /// Spider-cc telemetry (packet sim with cc_mode == kSpiderCc, zero
+  /// otherwise): acks that carried the routers' one-bit congestion mark,
+  /// multiplicative AIMD window decreases applied (marked acks plus
+  /// unit failures), and units relaunched after a per-launch HTLC
+  /// timeout refunded their locks.
+  std::uint64_t cc_marked_acks = 0;
+  std::uint64_t cc_window_decreases = 0;
+  std::uint64_t cc_timeout_retries = 0;
+
   /// Fraction of attempted payments that fully completed.
   [[nodiscard]] double success_ratio() const {
     return attempted == 0 ? 0.0

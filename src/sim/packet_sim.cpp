@@ -21,6 +21,18 @@ PacketSimulator::PacketSimulator(const graph::Graph& g,
   if (cfg_.mtu <= 0 || cfg_.hop_delay <= 0 || cfg_.end_time <= 0) {
     throw std::invalid_argument("PacketSimulator: bad config");
   }
+  // The legacy bool is an alias for the failure-driven window; an
+  // explicit cc_mode always wins so new call sites need not clear it.
+  if (cfg_.cc_mode == CongestionControlMode::kNone &&
+      cfg_.enable_congestion_control) {
+    cfg_.cc_mode = CongestionControlMode::kFailureWindow;
+  }
+  if (cfg_.cc_mode == CongestionControlMode::kSpiderCc &&
+      (cfg_.cc_alpha <= 0 || cfg_.cc_beta <= 0 || cfg_.cc_beta >= 1 ||
+       cfg_.cc_min_window <= 0 || cfg_.cc_initial_window < cfg_.cc_min_window ||
+       cfg_.cc_max_window < cfg_.cc_initial_window)) {
+    throw std::invalid_argument("PacketSimulator: bad spider-cc config");
+  }
   transports_.reserve(g.node_count());
   routers_.reserve(g.node_count());
   arc_local_.assign(g.arc_count(), 0);
@@ -33,6 +45,14 @@ PacketSimulator::PacketSimulator(const graph::Graph& g,
     for (std::size_t i = 0; i < out.size(); ++i) {
       arc_local_[out[i]] = static_cast<std::uint32_t>(i);
     }
+  }
+  if (cfg_.cc_mode == CongestionControlMode::kSpiderCc) {
+    core::MarkingConfig mc;
+    mc.enabled = true;
+    mc.threshold = cfg_.cc_mark_threshold;
+    mc.unmark_fraction = cfg_.cc_mark_unmark_fraction;
+    mc.ewma_gain = cfg_.cc_mark_ewma_gain;
+    for (core::Router& r : routers_) r.configure_marking(mc);
   }
   pair_rows_.resize(g.node_count());
   events_.set_dispatcher(&PacketSimulator::dispatch, this);
@@ -163,9 +183,15 @@ void PacketSimulator::arrive(core::PaymentId pid) {
 }
 
 void PacketSimulator::submit_unit(const core::TxUnit& unit) {
-  if (!cfg_.enable_congestion_control) {
-    launch_unit(unit);
-    return;
+  switch (cfg_.cc_mode) {
+    case CongestionControlMode::kNone:
+      launch_unit(unit);
+      return;
+    case CongestionControlMode::kSpiderCc:
+      spider_submit(unit);
+      return;
+    case CongestionControlMode::kFailureWindow:
+      break;
   }
   PairState& cc = pair_state(unit.src, unit.dst);
   if (!cc.cc_init) {
@@ -180,9 +206,24 @@ void PacketSimulator::submit_unit(const core::TxUnit& unit) {
   }
 }
 
+void PacketSimulator::unit_left(core::NodeId src, core::NodeId dst,
+                                std::uint32_t path_index, bool success,
+                                bool marked) {
+  switch (cfg_.cc_mode) {
+    case CongestionControlMode::kNone:
+      return;
+    case CongestionControlMode::kFailureWindow:
+      cc_unit_left(src, dst, success);
+      return;
+    case CongestionControlMode::kSpiderCc:
+      spider_unit_left(src, dst, path_index, success, marked);
+      return;
+  }
+}
+
 void PacketSimulator::cc_unit_left(core::NodeId src, core::NodeId dst,
                                    bool success) {
-  if (!cfg_.enable_congestion_control) return;
+  if (cfg_.cc_mode != CongestionControlMode::kFailureWindow) return;
   PairState& cc = pair_state(src, dst);
   if (cc.outstanding > 0) --cc.outstanding;
   if (success) {
@@ -219,6 +260,134 @@ std::size_t PacketSimulator::backlog_units() const {
   return total;
 }
 
+PacketSimulator::PairState& PacketSimulator::spider_pair(core::NodeId src,
+                                                         core::NodeId dst) {
+  PairState& ps = pair_state(src, dst);
+  if (!ps.paths_init) {
+    ps.paths_init = true;
+    ps.paths =
+        graph::edge_disjoint_shortest_paths(graph_, src, dst, cfg_.path_k);
+  }
+  if (!ps.cc_init) {
+    ps.cc_init = true;
+    ps.win.assign(ps.paths.size(), cfg_.cc_initial_window);
+    ps.out.assign(ps.paths.size(), 0);
+  }
+  return ps;
+}
+
+std::size_t PacketSimulator::spider_pick_path(const PairState& ps) {
+  // Window-gated widest: the AIMD windows decide *whether* a unit may
+  // launch (no headroom anywhere parks it in the backlog) and the
+  // kWidest availability signal decides *where* among the open windows
+  // (most available funds wins, index breaks ties). Marking closes the
+  // windows of queue-building paths, so the two signals cooperate:
+  // windows pace the aggregate, availability steers around imbalance.
+  // During a probe-staleness spike availability reads the frozen
+  // snapshot, exactly like select_path.
+  const bool stale = stale_net_ != nullptr;
+  const core::ChannelNetwork& signal = stale ? *stale_net_ : net_;
+  if (stale) ++metrics_.fault_stale_decisions;
+  std::size_t best = kPathsBlocked;
+  core::Amount best_avail = -1;
+  bool any_live = false;
+  for (std::size_t i = 0; i < ps.paths.size(); ++i) {
+    if (faults_ != nullptr && faults_->path_blocked(ps.paths[i], graph_)) {
+      continue;
+    }
+    any_live = true;
+    if (static_cast<double>(ps.out[i]) >= ps.win[i]) continue;
+    const core::Amount avail = signal.path_available(ps.paths[i]);
+    if (avail > best_avail) {
+      best_avail = avail;
+      best = i;
+    }
+  }
+  if (best != kPathsBlocked) return best;
+  return any_live ? kWindowsFull : kPathsBlocked;
+}
+
+void PacketSimulator::spider_submit(const core::TxUnit& unit) {
+  if (faults_ != nullptr && faults_->node_down(unit.src)) {
+    // A down host originates nothing (see launch_unit); no window state
+    // was touched, so there is nothing to roll back or drain.
+    ++metrics_.fault_units_failed;
+    transports_[unit.src]->abandon_unit(unit.id);
+    return;
+  }
+  PairState& ps = spider_pair(unit.src, unit.dst);
+  if (ps.paths.empty()) {
+    transports_[unit.src]->abandon_unit(unit.id);
+    return;
+  }
+  const std::size_t pick = spider_pick_path(ps);
+  if (pick == kPathsBlocked) {
+    // Every candidate path is fault-blocked: same resolution the
+    // unwindowed launch reaches when select_path finds no live path.
+    ++metrics_.fault_units_failed;
+    transports_[unit.src]->abandon_unit(unit.id);
+    return;
+  }
+  if (pick == kWindowsFull) {
+    ps.backlog.push_back(unit);
+    return;
+  }
+  ++ps.out[pick];
+  start_unit(unit, &ps.paths[pick], static_cast<std::uint32_t>(pick));
+}
+
+void PacketSimulator::spider_unit_left(core::NodeId src, core::NodeId dst,
+                                       std::uint32_t path_index, bool success,
+                                       bool marked) {
+  PairState& ps = spider_pair(src, dst);
+  if (path_index < ps.win.size()) {
+    if (ps.out[path_index] > 0) --ps.out[path_index];
+    double& w = ps.win[path_index];
+    if (success && !marked) {
+      w = std::min(cfg_.cc_max_window, w + cfg_.cc_alpha / w);
+    } else {
+      w = std::max(cfg_.cc_min_window, w * (1.0 - cfg_.cc_beta));
+      ++metrics_.cc_window_decreases;
+    }
+  }
+  // A launched unit can fail synchronously and re-enter here; let the
+  // outermost frame own the backlog drain (same guard as cc_unit_left).
+  if (ps.draining) return;
+  ps.draining = true;
+  while (ps.next < ps.backlog.size()) {
+    const core::TxUnit u = ps.backlog[ps.next];
+    if (u.deadline < events_.now()) {
+      ++ps.next;
+      transports_[u.src]->abandon_unit(u.id);
+      continue;
+    }
+    const std::size_t pick = spider_pick_path(ps);
+    if (pick == kWindowsFull) break;  // re-drained on the next departure
+    ++ps.next;
+    if (pick == kPathsBlocked) {
+      ++metrics_.fault_units_failed;
+      transports_[u.src]->abandon_unit(u.id);
+      continue;
+    }
+    ++ps.out[pick];
+    start_unit(u, &ps.paths[pick], static_cast<std::uint32_t>(pick));
+  }
+  ps.draining = false;
+  if (ps.next > 0 && ps.next == ps.backlog.size()) {
+    ps.backlog.clear();
+    ps.next = 0;
+  }
+}
+
+std::vector<double> PacketSimulator::cc_windows(core::NodeId src,
+                                                core::NodeId dst) const {
+  if (cfg_.cc_mode != CongestionControlMode::kSpiderCc) return {};
+  if (src >= pair_rows_.size()) return {};
+  const std::vector<std::uint32_t>& row = pair_rows_[src];
+  if (row.empty() || row[dst] == kNoPair) return {};
+  return pairs_[row[dst]].win;
+}
+
 void PacketSimulator::launch_unit(const core::TxUnit& unit) {
   if (faults_ != nullptr && faults_->node_down(unit.src)) {
     // A down host originates nothing. This gate is also the fix for the
@@ -237,18 +406,34 @@ void PacketSimulator::launch_unit(const core::TxUnit& unit) {
     cc_unit_left(unit.src, unit.dst, /*success=*/false);
     return;
   }
+  start_unit(unit, path, 0);
+}
+
+void PacketSimulator::start_unit(const core::TxUnit& unit,
+                                 const graph::Path* path,
+                                 std::uint32_t path_index) {
   const core::SlabHandle h = units_.acquire();
   UnitState& st = *units_.get(h);
   st.unit = unit;
+  if (cfg_.cc_mode == CongestionControlMode::kSpiderCc &&
+      cfg_.cc_unit_timeout > 0) {
+    // Per-launch HTLC expiry: only the launched copy gets the tightened
+    // deadline -- a retried unit re-enters the backlog with the
+    // payment's own deadline and is re-tightened on its next launch.
+    st.unit.deadline =
+        std::min(unit.deadline, events_.now() + cfg_.cc_unit_timeout);
+  }
   st.path = path;
   st.hop = 0;
   st.htlcs.clear();  // recycled slot may hold the previous tenant's
+  st.path_index = path_index;
+  st.marked = false;
   payment_units_[unit.id.payment][unit.id.seq] = h.packed();
   ++metrics_.units_sent;
   advance(h);
 }
 
-void PacketSimulator::advance(core::SlabHandle h) {
+void PacketSimulator::advance(core::SlabHandle h, TimePoint queue_delay) {
   UnitState* st = units_.get(h);
   if (st == nullptr) return;
   const graph::ArcId arc = st->path->arcs[st->hop];
@@ -280,6 +465,14 @@ void PacketSimulator::advance(core::SlabHandle h) {
   }
   st->htlcs.push_back(*htlc);
   held_amount_ += st->unit.amount;
+  if (cfg_.cc_mode == CongestionControlMode::kSpiderCc) {
+    // The router feeds its queue-delay estimator with every departing
+    // unit's wait (0 on pass-through) and stamps the resulting one-bit
+    // mark onto the unit; once marked, always marked (§5 of the NSDI
+    // design: any congested hop suffices).
+    st->marked |= routers_[graph_.tail(arc)].observe_delay_local(
+        arc_local_[arc], queue_delay);
+  }
   events_.schedule_typed_in(cfg_.hop_delay, EventKind::kHopAdvance,
                             h.packed());
 }
@@ -317,11 +510,12 @@ void PacketSimulator::unit_reached_destination(core::SlabHandle h) {
 void PacketSimulator::ack_unit(core::SlabHandle h) {
   const UnitState* st = units_.get(h);
   if (st == nullptr) return;  // unit already failed (e.g. expired)
+  if (st->marked) ++metrics_.cc_marked_acks;
   // confirm_unit returns no keys for late confirmations (the sender
   // withholds them; the unit's locks fail via the expiry sweep) and
   // for atomic payments still missing shares.
   const auto releases = transports_[st->unit.src]->confirm_unit(
-      st->unit.id, events_.now());
+      st->unit.id, events_.now(), st->marked);
   for (const core::KeyRelease& kr : releases) {
     settle_unit(kr.unit, kr.key);
   }
@@ -353,14 +547,16 @@ void PacketSimulator::settle_unit(core::TxUnitId uid, core::Preimage key) {
   // The path outlives the unit (owned by PairState); grab it before the
   // slot is released -- servicing below may recycle the slot.
   const graph::Path* path = st->path;
+  const std::uint32_t path_index = st->path_index;
+  const bool marked = st->marked;
   units_.release(h);
-  cc_unit_left(src, dst, /*success=*/true);
+  unit_left(src, dst, path_index, /*success=*/true, marked);
   for (const graph::ArcId arc : path->arcs) {
     service_arc(graph::reverse(arc));
   }
 }
 
-void PacketSimulator::fail_unit(core::TxUnitId uid) {
+void PacketSimulator::fail_unit(core::TxUnitId uid, bool retryable) {
   const core::SlabHandle h = handle_of(uid);
   UnitState* st = units_.get(h);
   if (st == nullptr) return;
@@ -370,16 +566,31 @@ void PacketSimulator::fail_unit(core::TxUnitId uid) {
   }
   held_amount_ -=
       st->unit.amount * static_cast<core::Amount>(st->htlcs.size());
-  transports_[st->unit.src]->abandon_unit(uid);
+  // A timed-out spider-cc unit retries (fresh launch, fresh timeout)
+  // while the payment's own deadline allows; the relaunch queues behind
+  // whatever the window decrease below lets through first. Restore the
+  // payment deadline the launch tightened (see start_unit).
+  core::TxUnit retry_unit = st->unit;
+  bool retry = retryable && cfg_.cc_mode == CongestionControlMode::kSpiderCc;
+  if (retry) {
+    retry_unit.deadline = requests_[uid.payment].deadline;
+    retry = retry_unit.deadline >= events_.now();
+  }
+  if (!retry) transports_[st->unit.src]->abandon_unit(uid);
   const core::NodeId src = st->unit.src;
   const core::NodeId dst = st->unit.dst;
   const graph::Path* path = st->path;
+  const std::uint32_t path_index = st->path_index;
   const std::size_t locked_hops = st->htlcs.size();
   units_.release(h);
-  cc_unit_left(src, dst, /*success=*/false);
+  unit_left(src, dst, path_index, /*success=*/false, /*marked=*/false);
   // Funds return to the offering sides; their sending direction frees up.
   for (std::size_t i = 0; i < locked_hops; ++i) {
     service_arc(path->arcs[i]);
+  }
+  if (retry) {
+    ++metrics_.cc_timeout_retries;
+    spider_submit(retry_unit);
   }
 }
 
@@ -393,7 +604,7 @@ void PacketSimulator::service_arc(graph::ArcId a) {
     const core::QueuedUnit qu = *router.pop_local(i);
     --total_queued_units_;
     total_queued_amount_ -= qu.amount;
-    advance(handle_of(qu.unit));
+    advance(handle_of(qu.unit), events_.now() - qu.enqueued);
   }
 }
 
@@ -407,7 +618,7 @@ void PacketSimulator::sweep_expired() {
       for (const core::QueuedUnit& qu : r.drop_expired(events_.now())) {
         --total_queued_units_;
         total_queued_amount_ -= qu.amount;
-        fail_unit(qu.unit);
+        fail_unit(qu.unit, /*retryable=*/true);
       }
     }
   }

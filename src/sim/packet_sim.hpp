@@ -52,6 +52,24 @@ enum class UnitPathPolicy : std::uint8_t {
   kRoundRobin,  // cycle through the candidate paths
 };
 
+/// Host rate control applied to transaction-unit release.
+enum class CongestionControlMode : std::uint8_t {
+  /// No pacing: every unit launches at arrival.
+  kNone,
+  /// Legacy per-(src,dst) AIMD window driven by unit *failures*
+  /// (confirmations grow the shared window, failed/expired units halve
+  /// it). Kept byte-identical to the pre-spider-cc simulator.
+  kFailureWindow,
+  /// Spider-NSDI congestion control (arXiv:1809.05088 §5): routers
+  /// stamp a one-bit queue-delay mark onto units, and each (src, dst)
+  /// pair keeps one AIMD window *per candidate path* -- multiplicative
+  /// decrease on marked acks and failures, additive increase on clean
+  /// acks. Units launch onto the window with the most headroom and
+  /// overflow waits in the host backlog, replacing the per-unit
+  /// widest/round-robin pick for this mode.
+  kSpiderCc,
+};
+
 struct PacketSimConfig {
   core::Amount mtu = core::from_units(10.0);
   TimePoint hop_delay = 0.05;   // per-hop propagation/processing delay
@@ -69,14 +87,34 @@ struct PacketSimConfig {
   bool collect_series = false;
   double series_bucket = 5.0;
 
-  /// Host congestion control (§4.1, deferred by the paper's evaluation):
-  /// each (src, dst) pair keeps an AIMD window of outstanding transaction
-  /// units. Confirmations grow the window by 1/w; a failed or expired
-  /// unit halves it. Excess units wait in a host backlog instead of
-  /// flooding router queues.
+  /// Host congestion control; see CongestionControlMode. The legacy
+  /// bool is an alias for kFailureWindow kept for existing call sites:
+  /// it applies only while `cc_mode` is kNone, so setting kSpiderCc
+  /// always wins.
+  CongestionControlMode cc_mode = CongestionControlMode::kNone;
   bool enable_congestion_control = false;
   double cc_initial_window = 4.0;
   double cc_max_window = 64.0;
+
+  /// Spider-cc window dynamics (used only in kSpiderCc): a clean ack
+  /// grows its path's window by `cc_alpha / window`; a marked ack or a
+  /// failed unit shrinks it to `window * (1 - cc_beta)`, floored at
+  /// `cc_min_window`.
+  double cc_alpha = 1.0;
+  double cc_beta = 0.1;
+  double cc_min_window = 1.0;
+  /// Router one-bit marking knobs (kSpiderCc only; core::MarkingConfig).
+  TimePoint cc_mark_threshold = 0.3;
+  double cc_mark_unmark_fraction = 0.5;
+  double cc_mark_ewma_gain = 0.25;
+  /// Per-launch HTLC expiry for spider-cc units (<= 0 disables): a unit
+  /// stuck in a router queue `cc_unit_timeout` seconds after its launch
+  /// is dropped by the expiry sweep, its hop locks refund, the path's
+  /// window takes a multiplicative decrease (the timeout is a loss
+  /// signal), and the unit re-enters the host backlog to retry while
+  /// the payment's own deadline (if any) allows. This is what real HTLC
+  /// timeouts do: stuck value cannot gridlock the network forever.
+  TimePoint cc_unit_timeout = 15.0;
 
   /// Optional runtime invariant auditor (sim/audit.hpp). When set, the
   /// simulator attaches it to its network at run() start, registers its
@@ -129,6 +167,12 @@ class PacketSimulator {
   /// Units waiting in host congestion-control backlogs right now.
   [[nodiscard]] std::size_t backlog_units() const;
 
+  /// Spider-cc per-path AIMD windows of (src, dst), in candidate-path
+  /// order; empty when the pair has no congestion-control state yet or
+  /// the mode is not kSpiderCc. Exposed for tests and telemetry.
+  [[nodiscard]] std::vector<double> cc_windows(core::NodeId src,
+                                               core::NodeId dst) const;
+
  private:
   /// One in-flight transaction unit; lives in the `units_` slab, keyed
   /// by slab handle (the TxUnitId -> handle map is `payment_units_`).
@@ -137,6 +181,8 @@ class PacketSimulator {
     const graph::Path* path = nullptr;  // into PairState::paths (stable)
     std::size_t hop = 0;                // next arc index to traverse
     std::vector<core::HtlcId> htlcs;    // one per completed offer
+    std::uint32_t path_index = 0;       // index of `path` in its PairState
+    bool marked = false;                // one-bit congestion mark (spider-cc)
   };
 
   /// All per-(src, dst) state: candidate paths, the round-robin cursor,
@@ -148,8 +194,11 @@ class PacketSimulator {
     std::size_t rr = 0;  // round-robin cursor over `paths`
     // Congestion control (initialised on first submitted unit).
     bool cc_init = false;
-    double window = 0.0;
+    double window = 0.0;         // kFailureWindow: one shared window
     std::size_t outstanding = 0;
+    // kSpiderCc: per-path AIMD windows, parallel to `paths`.
+    std::vector<double> win;
+    std::vector<std::uint32_t> out;  // per-path outstanding units
     std::vector<core::TxUnit> backlog;  // FIFO via `next` index
     std::size_t next = 0;
     bool draining = false;
@@ -171,18 +220,46 @@ class PacketSimulator {
   void submit_unit(const core::TxUnit& unit);
   void launch_unit(const core::TxUnit& unit);
   /// Called when a unit leaves the network (settled or failed); updates
-  /// the AIMD window and drains the backlog.
+  /// the AIMD window state and drains the backlog.
+  void unit_left(core::NodeId src, core::NodeId dst,
+                 std::uint32_t path_index, bool success, bool marked);
+  /// kFailureWindow flavour of unit_left (pre-spider-cc semantics).
   void cc_unit_left(core::NodeId src, core::NodeId dst, bool success);
+  // --- spider-cc (kSpiderCc) ---------------------------------------
+  /// Lazily builds the pair's candidate paths and per-path windows.
+  PairState& spider_pair(core::NodeId src, core::NodeId dst);
+  /// Window-gated admission: launches onto the path with the most
+  /// window headroom or parks the unit in the host backlog.
+  void spider_submit(const core::TxUnit& unit);
+  /// Window-gated widest path pick; kPathsBlocked when every candidate
+  /// is fault-blocked, kWindowsFull when live paths exist but no window
+  /// has room.
+  static constexpr std::size_t kPathsBlocked = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kWindowsFull = static_cast<std::size_t>(-2);
+  [[nodiscard]] std::size_t spider_pick_path(const PairState& ps);
+  /// AIMD update for path `path_index` + backlog drain.
+  void spider_unit_left(core::NodeId src, core::NodeId dst,
+                        std::uint32_t path_index, bool success, bool marked);
+  // ------------------------------------------------------------------
+  /// Slab acquisition + first hop shared by every launch flavour.
+  void start_unit(const core::TxUnit& unit, const graph::Path* path,
+                  std::uint32_t path_index);
   /// Chosen candidate path for this unit; nullptr when no path exists.
   const graph::Path* select_path(const core::TxUnit& unit);
   /// Tries to lock the next hop; queues at the router on dry channels.
-  void advance(core::SlabHandle h);
+  /// `queue_delay` is the time the unit just spent waiting in this
+  /// hop's router queue (0 on a pass-through) -- the sample feeding the
+  /// router's one-bit marking estimator under spider-cc.
+  void advance(core::SlabHandle h, TimePoint queue_delay = 0.0);
   void reach_next_hop(core::SlabHandle h);
   void unit_reached_destination(core::SlabHandle h);
   /// The receiver's confirmation reached the sender.
   void ack_unit(core::SlabHandle h);
   void settle_unit(core::TxUnitId uid, core::Preimage key);
-  void fail_unit(core::TxUnitId uid);
+  /// `retryable` marks failures that came from the spider-cc per-launch
+  /// timeout: the unit refunds its locks and goes back to the host
+  /// backlog (fresh timeout on relaunch) instead of being abandoned.
+  void fail_unit(core::TxUnitId uid, bool retryable = false);
   void service_arc(graph::ArcId a);
   void sweep_expired();
   void sample_series();

@@ -94,7 +94,23 @@ sim::Metrics run_packet_chaos(std::size_t seed) {
   sim::PacketSimConfig cfg;
   cfg.end_time = 25.0;
   cfg.seed = 1000 + seed;
-  cfg.enable_congestion_control = (seed % 2 == 1);
+  // Cycle all three congestion-control modes through the fault storm:
+  // ungated, the legacy failure-window alias, and spider-cc with its
+  // marking/AIMD/timeout machinery (aggressive knobs so marks and
+  // per-launch timeouts actually fire against the fault schedules).
+  switch (seed % 3) {
+    case 1:
+      cfg.enable_congestion_control = true;  // kFailureWindow alias
+      break;
+    case 2:
+      cfg.cc_mode = sim::CongestionControlMode::kSpiderCc;
+      cfg.cc_initial_window = 1.0 + static_cast<double>(seed % 5);
+      cfg.cc_mark_threshold = (seed % 4 == 0) ? 0.05 : 0.3;
+      cfg.cc_unit_timeout = 1.0 + 0.5 * static_cast<double>(seed % 4);
+      break;
+    default:
+      break;  // kNone: the ungated baseline
+  }
   cfg.faults = &injector;
   cfg.auditor = &auditor;
   sim::PacketSimulator sim(

@@ -190,6 +190,62 @@ TEST(Report, MetricsCsvRoundTrip) {
   EXPECT_DOUBLE_EQ(restored.success_volume(), r.metrics.success_volume());
 }
 
+TEST(Report, SpiderCcCountersSurviveJsonAndCsvRoundTrip) {
+  // A congested packet-backed trial with an aggressive mark threshold
+  // and a short per-launch timeout, so all three spider-cc telemetry
+  // counters are nonzero and the new serialization columns are
+  // exercised with real values, not zeros.
+  exp::TrialSpec spec;
+  spec.scheme = "spider-cc";
+  spec.topology = "line-6";
+  spec.workload_seed = 17;
+  spec.txns = 400;
+  spec.end_time = 25.0;
+  spec.capacity_units = 60.0;
+  spec.cc_mark_threshold = 0.05;
+  spec.audit = true;
+  const exp::TrialResult r = exp::run_trial(spec);
+  ASSERT_GT(r.metrics.attempted, 0u);
+  ASSERT_GT(r.metrics.cc_marked_acks, 0u);
+  ASSERT_GT(r.metrics.cc_window_decreases, 0u);
+  ASSERT_GT(r.metrics.cc_timeout_retries, 0u);
+
+  const exp::Json j = exp::report::metrics_to_json(r.metrics);
+  const sim::Metrics from_json =
+      exp::report::metrics_from_json(exp::Json::parse(j.dump(2)));
+  EXPECT_TRUE(from_json == r.metrics);
+
+  const sim::Metrics from_csv = exp::report::metrics_from_csv_row(
+      exp::report::metrics_csv_row(r.metrics));
+  EXPECT_EQ(from_csv.cc_marked_acks, r.metrics.cc_marked_acks);
+  EXPECT_EQ(from_csv.cc_window_decreases, r.metrics.cc_window_decreases);
+  EXPECT_EQ(from_csv.cc_timeout_retries, r.metrics.cc_timeout_retries);
+}
+
+TEST(Sweep, PacketBackedTrialsAreThreadCountDeterministic) {
+  // The packet branch of run_trial must be as thread-count-invariant as
+  // the flow branch: a mixed grid (spider-cc + its ungated baseline +
+  // a flow scheme) gives identical metrics on 1 and 4 runner threads.
+  exp::SweepConfig cfg;
+  cfg.schemes = {"spider-cc", "packet-widest", "spider-waterfilling"};
+  cfg.topologies = {"ring-8"};
+  cfg.capacities_units = {150.0};
+  cfg.seeds = 2;
+  cfg.base_seed = 19;
+  cfg.txns = 200;
+  cfg.end_time = 20.0;
+  const std::vector<exp::TrialSpec> trials = exp::make_trials(cfg);
+  const std::vector<exp::TrialResult> a =
+      exp::run_trials(trials, exp::Runner(1));
+  const std::vector<exp::TrialResult> b =
+      exp::run_trials(trials, exp::Runner(4));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].metrics == b[i].metrics) << trials[i].scheme;
+    EXPECT_GT(a[i].metrics.attempted, 0u) << trials[i].scheme;
+  }
+}
+
 TEST(Report, JsonParserHandlesNestingAndEscapes) {
   const exp::Json j = exp::Json::parse(
       R"({"a": [1, 2.5, -3, true, false, null], "s": "q\"\\\nA", )"

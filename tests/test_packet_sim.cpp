@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include "graph/topology.hpp"
 
@@ -306,6 +308,164 @@ TEST(PacketSim, RoundRobinPathSelectionIsDeterministic) {
   const auto b = run_once();
   EXPECT_EQ(a, b);
   EXPECT_GT(std::get<0>(a), 0u);  // the workload actually exercises paths
+}
+
+TEST(PacketSim, SpiderCcCleanAcksGrowWindowsAdditively) {
+  // Uncongested line: every ack comes back clean, so the used path's
+  // AIMD window must end strictly above its initial value (additive
+  // increase, cc_alpha / w per ack) and no decrease may fire.
+  const graph::Graph g = graph::topology::make_line(3);
+  PacketSimConfig cfg;
+  cfg.end_time = 60;
+  cfg.mtu = from_units(5);
+  cfg.cc_mode = CongestionControlMode::kSpiderCc;
+  cfg.cc_initial_window = 2.0;
+  cfg.cc_max_window = 64.0;
+  cfg.cc_alpha = 1.0;
+  PacketSimulator sim(g, std::vector<Amount>(2, from_units(200)), cfg);
+  sim.submit(payment(0, 2, 60, 1.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.delivered_volume, from_units(60));
+  EXPECT_EQ(m.cc_marked_acks, 0u);
+  EXPECT_EQ(m.cc_window_decreases, 0u);
+  const std::vector<double> wins = sim.cc_windows(0, 2);
+  ASSERT_FALSE(wins.empty());
+  double widest = 0.0;
+  for (const double w : wins) widest = std::max(widest, w);
+  EXPECT_GT(widest, 2.0);  // 12 clean acks of additive increase
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, SpiderCcMarkedAcksShrinkWindowsMultiplicatively) {
+  // Units that sit in a dry channel's queue accumulate queueing delay;
+  // when a reverse payment refills the channel they are serviced with
+  // ~1 s of measured delay, the router's EWMA crosses the threshold,
+  // and their acks carry the mark. Each marked ack applies a
+  // multiplicative decrease, so the pair's window ends below its
+  // (growth-clamped) initial value.
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimConfig cfg;
+  cfg.end_time = 30;
+  cfg.mtu = from_units(10);
+  cfg.cc_mode = CongestionControlMode::kSpiderCc;
+  cfg.cc_initial_window = 4.0;
+  cfg.cc_max_window = 4.0;  // clamp: isolate the decrease
+  cfg.cc_mark_threshold = 0.3;
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  // Drains 0->1 completely, then the probe queues at the dry channel.
+  sim.submit(payment(0, 1, 50, 0.5, PaymentKind::kNonAtomic));
+  sim.submit(payment(0, 1, 30, 1.0, PaymentKind::kNonAtomic));
+  // Refill at t=3: the probe's queued units are serviced ~2 s late.
+  sim.submit(payment(1, 0, 80, 3.0, PaymentKind::kNonAtomic));
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 3u);
+  EXPECT_GT(m.cc_marked_acks, 0u);
+  EXPECT_GT(m.cc_window_decreases, 0u);
+  const std::vector<double> wins = sim.cc_windows(0, 1);
+  ASSERT_EQ(wins.size(), 1u);
+  EXPECT_LT(wins[0], 4.0);
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, SpiderCcTimesOutStuckUnitsAndRetries) {
+  // A unit stuck in a dry channel's queue past cc_unit_timeout is
+  // dropped by the expiry sweep, its locks refund, and -- because the
+  // payment itself has no deadline pressure -- it re-enters the host
+  // backlog and relaunches. When a reverse payment later refills the
+  // channel, the retried unit completes: the timeout converts a
+  // would-be-permanent gridlock into a delayed success.
+  const graph::Graph g = graph::topology::make_line(2);
+  PacketSimConfig cfg;
+  cfg.end_time = 40;
+  cfg.mtu = from_units(10);
+  cfg.cc_mode = CongestionControlMode::kSpiderCc;
+  cfg.cc_unit_timeout = 2.0;
+  PacketSimulator sim(g, std::vector<Amount>{from_units(100)}, cfg);
+  sim.submit(payment(0, 1, 50, 0.5, PaymentKind::kNonAtomic));  // drain
+  sim.submit(payment(0, 1, 10, 1.0, PaymentKind::kNonAtomic));  // sticks
+  sim.submit(payment(1, 0, 60, 10.0, PaymentKind::kNonAtomic));  // refill
+  const Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 3u);
+  EXPECT_GT(m.cc_timeout_retries, 0u);
+  EXPECT_GT(m.cc_window_decreases, 0u);  // a timeout is a loss signal
+  EXPECT_EQ(sim.queued_units(), 0u);
+  EXPECT_EQ(sim.backlog_units(), 0u);
+  EXPECT_TRUE(sim.network().conserves_funds());
+}
+
+TEST(PacketSim, SpiderCcKnobsAreInertWhenDisabled) {
+  // Differential guard: with cc_mode kNone the simulator must be
+  // byte-identical to the pre-spider-cc packet sim, no matter what the
+  // spider-cc knobs say. Any divergence means the new plumbing leaks
+  // into the default hot path.
+  const auto run_once = [](bool poison_knobs) {
+    const graph::Graph g = graph::topology::make_isp32();
+    PacketSimConfig cfg;
+    cfg.end_time = 15;
+    cfg.mtu = from_units(5);
+    cfg.seed = 11;
+    if (poison_knobs) {
+      cfg.cc_initial_window = 1.0;
+      cfg.cc_max_window = 2.0;
+      cfg.cc_alpha = 9.0;
+      cfg.cc_beta = 0.9;
+      cfg.cc_min_window = 0.5;
+      cfg.cc_mark_threshold = 0.001;
+      cfg.cc_mark_unmark_fraction = 0.9;
+      cfg.cc_mark_ewma_gain = 1.0;
+      cfg.cc_unit_timeout = 0.25;
+    }
+    PacketSimulator sim(
+        g, std::vector<Amount>(g.edge_count(), from_units(100)), cfg);
+    for (int i = 0; i < 150; ++i) {
+      sim.submit(payment(static_cast<core::NodeId>(i % 32),
+                         static_cast<core::NodeId>((i * 11 + 5) % 32),
+                         3.0 + (i % 17), 0.05 * i, PaymentKind::kNonAtomic,
+                         /*deadline=*/0.05 * i + 8.0));
+    }
+    const Metrics m = sim.run();
+    return std::tuple(m.succeeded, m.partial, m.failed, m.delivered_volume,
+                      m.completed_volume, m.units_sent,
+                      m.sum_completion_latency, m.cc_marked_acks,
+                      m.cc_window_decreases, m.cc_timeout_retries,
+                      sim.events_processed());
+  };
+  const auto base = run_once(false);
+  const auto poisoned = run_once(true);
+  EXPECT_EQ(base, poisoned);
+  EXPECT_EQ(std::get<7>(base), 0u);   // no marked acks
+  EXPECT_EQ(std::get<9>(base), 0u);   // no timeout retries
+}
+
+TEST(PacketSim, SpiderCcModeMatchesLegacyBoolAlias) {
+  // The legacy `enable_congestion_control` bool and an explicit
+  // cc_mode = kFailureWindow must drive the identical simulation.
+  const auto run_once = [](bool use_enum) {
+    const graph::Graph g = graph::topology::make_isp32();
+    PacketSimConfig cfg;
+    cfg.end_time = 15;
+    cfg.mtu = from_units(5);
+    cfg.seed = 13;
+    if (use_enum) {
+      cfg.cc_mode = CongestionControlMode::kFailureWindow;
+    } else {
+      cfg.enable_congestion_control = true;
+    }
+    PacketSimulator sim(
+        g, std::vector<Amount>(g.edge_count(), from_units(100)), cfg);
+    for (int i = 0; i < 120; ++i) {
+      sim.submit(payment(static_cast<core::NodeId>(i % 32),
+                         static_cast<core::NodeId>((i * 7 + 3) % 32),
+                         2.0 + (i % 13), 0.1 * i, PaymentKind::kNonAtomic,
+                         /*deadline=*/0.1 * i + 10.0));
+    }
+    const Metrics m = sim.run();
+    return std::tuple(m.succeeded, m.partial, m.failed, m.delivered_volume,
+                      m.units_sent, m.sum_completion_latency,
+                      sim.events_processed());
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
 }
 
 TEST(PacketSim, ConservationUnderLoad) {

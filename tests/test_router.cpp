@@ -84,6 +84,75 @@ TEST(Router, SrptRouterServicesSmallestFirst) {
   EXPECT_EQ(r.pop(0)->unit.payment, 1u);
 }
 
+TEST(Router, MarkingSetsAboveThresholdAndClearsWithHysteresis) {
+  Router r(0, SchedulingPolicy::kFifo);
+  r.bind(std::vector<graph::ArcId>{0, 2});
+  MarkingConfig mc;
+  mc.enabled = true;
+  mc.threshold = 1.0;
+  mc.unmark_fraction = 0.5;
+  mc.ewma_gain = 0.5;
+  r.configure_marking(mc);
+
+  EXPECT_FALSE(r.marked_local(0));
+  // One big sample: ewma = 0.5 * 4.0 = 2.0 > threshold, bit sets.
+  EXPECT_TRUE(r.observe_delay_local(0, 4.0));
+  EXPECT_TRUE(r.marked_local(0));
+  EXPECT_DOUBLE_EQ(r.delay_estimate_local(0), 2.0);
+  EXPECT_EQ(r.mark_transitions(), 1u);
+
+  // Decay through the hysteresis band: 1.0 and 0.5 are both >= the
+  // unmark level (threshold * unmark_fraction = 0.5), so the bit
+  // holds; only 0.25 < 0.5 clears it. No threshold chatter.
+  EXPECT_TRUE(r.observe_delay_local(0, 0.0));   // ewma 1.0
+  EXPECT_TRUE(r.observe_delay_local(0, 0.0));   // ewma 0.5
+  EXPECT_FALSE(r.observe_delay_local(0, 0.0));  // ewma 0.25: cleared
+  EXPECT_FALSE(r.marked_local(0));
+  // Clearing is not a set->clear "transition" in the telemetry; only
+  // clear->set flips count (congestion onsets).
+  EXPECT_EQ(r.mark_transitions(), 1u);
+}
+
+TEST(Router, MarkingTracksArcsIndependently) {
+  Router r(0, SchedulingPolicy::kFifo);
+  r.bind(std::vector<graph::ArcId>{0, 2, 9});
+  MarkingConfig mc;
+  mc.enabled = true;
+  mc.threshold = 0.5;
+  mc.ewma_gain = 1.0;  // estimate == last sample
+  r.configure_marking(mc);
+  EXPECT_TRUE(r.observe_delay_local(1, 2.0));
+  EXPECT_FALSE(r.marked_local(0));
+  EXPECT_TRUE(r.marked_local(1));
+  EXPECT_FALSE(r.marked_local(2));
+  EXPECT_DOUBLE_EQ(r.delay_estimate_local(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.delay_estimate_local(1), 2.0);
+}
+
+TEST(Router, MarkingDisabledObservesNothing) {
+  Router r(0, SchedulingPolicy::kFifo);
+  r.bind(std::vector<graph::ArcId>{0});
+  EXPECT_FALSE(r.observe_delay_local(0, 100.0));
+  EXPECT_FALSE(r.marked_local(0));
+  EXPECT_DOUBLE_EQ(r.delay_estimate_local(0), 0.0);
+  EXPECT_EQ(r.mark_transitions(), 0u);
+}
+
+TEST(Router, MarkingRejectsBadConfig) {
+  Router r(0, SchedulingPolicy::kFifo);
+  r.bind(std::vector<graph::ArcId>{0});
+  MarkingConfig mc;
+  mc.enabled = true;
+  mc.threshold = 0.0;
+  EXPECT_THROW(r.configure_marking(mc), std::invalid_argument);
+  mc.threshold = 0.3;
+  mc.ewma_gain = 1.5;
+  EXPECT_THROW(r.configure_marking(mc), std::invalid_argument);
+  mc.ewma_gain = 0.25;
+  mc.unmark_fraction = -0.1;
+  EXPECT_THROW(r.configure_marking(mc), std::invalid_argument);
+}
+
 TEST(Router, LocalIndexVariantsMatchByArcCalls) {
   Router r(0, SchedulingPolicy::kFifo);
   r.bind(std::vector<graph::ArcId>{6, 8});
