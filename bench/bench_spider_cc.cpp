@@ -4,7 +4,8 @@
 // waterfilling baseline ("packet-widest") on paired traces, all on
 // sim::PacketSimulator. Three blocks:
 //
-//   fig6    scheme comparison on isp32 + ripple-400 at fixed capacity,
+//   fig6    scheme comparison on isp32 + full-Ripple (3774 nodes) at
+//           fixed capacity,
 //           no deadlines -- the regime where ungated flooding gridlocks
 //           (stuck units hold their hop locks forever) and windows keep
 //           the network live;
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
 
   const std::size_t fig6_txns = full ? 20000 : 12000;
   const std::size_t fig6_seeds = 2;
-  const std::vector<std::string> fig6_topologies = {"isp32", "ripple-400"};
+  const std::vector<std::string> fig6_topologies = {"isp32", "ripple-3774"};
   const std::vector<double> fig7_caps =
       full ? std::vector<double>{1000, 2000, 3000, 5000, 10000}
            : std::vector<double>{1000, 3000, 10000};

@@ -50,6 +50,49 @@ void BM_YenKShortest(benchmark::State& state) {
 }
 BENCHMARK(BM_YenKShortest)->Arg(2)->Arg(4)->Arg(8);
 
+// --- CSR + PathFinder variants of the hot queries: same algorithms on
+// the frozen arena with reusable scratch. The gap to the legacy
+// adjacency-list benchmarks above is the substrate win; Yen in
+// particular used to re-allocate its candidate set and blocked-edge
+// mask per spur, quadratic in k.
+
+void BM_CsrBfsShortestPath_Isp32(benchmark::State& state) {
+  const graph::CsrGraph g{graph::topology::make_isp32()};
+  graph::PathFinder finder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.bfs_shortest(g, 9, 30));
+  }
+}
+BENCHMARK(BM_CsrBfsShortestPath_Isp32);
+
+void BM_CsrEdgeDisjointPaths_Isp32(benchmark::State& state) {
+  const graph::CsrGraph g{graph::topology::make_isp32()};
+  graph::PathFinder finder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.edge_disjoint(g, 9, 30, 4));
+  }
+}
+BENCHMARK(BM_CsrEdgeDisjointPaths_Isp32);
+
+void BM_CsrYenKShortest(benchmark::State& state) {
+  const graph::CsrGraph g{graph::topology::make_isp32()};
+  graph::PathFinder finder;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.yen(g, 9, 30, k));
+  }
+}
+BENCHMARK(BM_CsrYenKShortest)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CsrFreeze(benchmark::State& state) {
+  const graph::Graph g = graph::topology::make_ripple_like(
+      static_cast<std::size_t>(state.range(0)), 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CsrGraph{g});
+  }
+}
+BENCHMARK(BM_CsrFreeze)->Arg(400)->Arg(3774);
+
 void BM_MaxFlow(benchmark::State& state) {
   const graph::Graph g = graph::topology::make_ripple_like(
       static_cast<std::size_t>(state.range(0)), 3);

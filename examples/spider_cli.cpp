@@ -5,6 +5,8 @@
 //              --txns 20000 --duration 200 --capacity 3000 --seed 1
 //
 // Topologies:  isp32 | ring:N | grid:RxC | ripple:N | lightning:N | er:N
+//              plus the sweep layer's dash names (ripple-3774,
+//              lightning-100k, er-500, ...) with their fixed seeds
 // Schemes:     silent-whispers speedy-murmurs shortest-path max-flow
 //              spider-waterfilling spider-lp spider-primal-dual
 // Workloads:   isp (mean 170/max 1780) | ripple (mean 345/max 2892)
@@ -15,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "exp/sweep.hpp"
 #include "graph/topology.hpp"
 #include "schemes/schemes.hpp"
 #include "sim/flow_sim.hpp"
@@ -57,7 +60,14 @@ graph::Graph parse_topology(const std::string& spec, std::uint64_t seed) {
     return graph::topology::make_grid(std::stoul(arg.substr(0, x)),
                                       std::stoul(arg.substr(x + 1)));
   }
-  usage("unknown topology");
+  // Fall back to the sweep layer's dash-named topologies
+  // (ripple-3774, lightning-100k, ...), which carry fixed seeds so
+  // they match sweep_cli/bench output for the same name.
+  try {
+    return exp::make_named_topology(spec);
+  } catch (const std::invalid_argument&) {
+    usage("unknown topology");
+  }
 }
 
 core::SchedulingPolicy parse_policy(const std::string& p) {

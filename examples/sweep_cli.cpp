@@ -146,7 +146,7 @@ exp::SweepConfig named_sweep(const std::string& name) {
     cfg.txns = 400;
     cfg.end_time = 30.0;
   } else if (name == "fig6") {
-    cfg.topologies = {"isp32", "ripple-400"};
+    cfg.topologies = {"isp32", "ripple-3774"};
     cfg.capacities_units = {3000.0};
     cfg.txns = 20000;
     cfg.end_time = 200.0;
@@ -160,7 +160,7 @@ exp::SweepConfig named_sweep(const std::string& name) {
     // on the fig-6 grid; the deadline bounds how long a unit may sit in
     // router queues before its locks refund (paper §4.1).
     cfg.schemes = {"spider-cc", "spider-waterfilling"};
-    cfg.topologies = {"isp32", "ripple-400"};
+    cfg.topologies = {"isp32", "ripple-3774"};
     cfg.capacities_units = {3000.0};
     cfg.txns = 20000;
     cfg.end_time = 200.0;

@@ -17,13 +17,31 @@ namespace spider::exp {
 
 namespace {
 
-/// Parses the numeric suffix of "family-N" topology names.
+/// Parses the numeric suffix of "family-N" topology names. Accepts a
+/// trailing 'k' as a x1000 multiplier ("lightning-100k" = 100000 nodes)
+/// and rejects any other trailing junk -- std::stoull used to parse
+/// "100k" as 100, silently building a graph 1000x too small.
 std::size_t parse_count(const std::string& name, std::size_t dash) {
   const std::string tail = name.substr(dash + 1);
   if (tail.empty()) {
     throw std::invalid_argument("make_named_topology: missing size in " + name);
   }
-  return static_cast<std::size_t>(std::stoull(tail));
+  std::size_t digits = 0;
+  std::size_t n = 0;
+  while (digits < tail.size() && tail[digits] >= '0' && tail[digits] <= '9') {
+    n = n * 10 + static_cast<std::size_t>(tail[digits] - '0');
+    ++digits;
+  }
+  std::size_t multiplier = 1;
+  if (digits + 1 == tail.size() && tail[digits] == 'k') {
+    multiplier = 1000;
+    ++digits;
+  }
+  if (digits == 0 || digits != tail.size()) {
+    throw std::invalid_argument("make_named_topology: bad size suffix in " +
+                                name);
+  }
+  return n * multiplier;
 }
 
 }  // namespace

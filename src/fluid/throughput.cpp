@@ -49,18 +49,24 @@ void enumerate_trails(const Graph& g, NodeId at, NodeId t,
 
 PathSet edge_disjoint_path_set(const Graph& g, const PaymentGraph& demands,
                                std::size_t k) {
+  // Freeze once, reuse one finder's scratch across every demand pair:
+  // this loop is the spider-lp / primal-dual setup cost on big graphs.
+  const graph::CsrGraph csr(g);
+  graph::PathFinder finder;
   PathSet ps;
   for (const Demand& d : demands.demands()) {
-    ps[{d.src, d.dst}] = graph::edge_disjoint_shortest_paths(g, d.src, d.dst, k);
+    ps[{d.src, d.dst}] = finder.edge_disjoint(csr, d.src, d.dst, k);
   }
   return ps;
 }
 
 PathSet k_shortest_path_set(const Graph& g, const PaymentGraph& demands,
                             std::size_t k) {
+  const graph::CsrGraph csr(g);
+  graph::PathFinder finder;
   PathSet ps;
   for (const Demand& d : demands.demands()) {
-    ps[{d.src, d.dst}] = graph::yen_k_shortest_paths(g, d.src, d.dst, k);
+    ps[{d.src, d.dst}] = finder.yen(csr, d.src, d.dst, k);
   }
   return ps;
 }

@@ -1,0 +1,62 @@
+#include "graph/csr.hpp"
+
+namespace spider::graph {
+
+CsrGraph::CsrGraph(const Graph& g)
+    : nodes_(static_cast<std::uint32_t>(g.node_count())),
+      edges_(static_cast<std::uint32_t>(g.edge_count())) {
+  const std::size_t n = nodes_;
+  const std::size_t arcs = arc_count();
+  arcs_base_ = n + 1;
+  heads_base_ = arcs_base_ + arcs;
+  arena_.resize(heads_base_ + arcs);
+
+  // Offsets: exclusive prefix sum of degrees.
+  std::uint32_t off = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    arena_[u] = off;
+    off += static_cast<std::uint32_t>(g.degree(static_cast<NodeId>(u)));
+  }
+  arena_[n] = off;
+
+  // Arcs: each node's out-arc list, preserving Graph insertion order so
+  // CSR traversals visit neighbours exactly as adjacency-list ones do.
+  std::size_t w = arcs_base_;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const ArcId a : g.out_arcs(static_cast<NodeId>(u))) {
+      arena_[w++] = a;
+    }
+  }
+
+  // Heads: direct ArcId -> head-node table.
+  for (std::size_t e = 0; e < edges_; ++e) {
+    const auto eid = static_cast<EdgeId>(e);
+    arena_[heads_base_ + forward_arc(eid)] = g.edge_v(eid);
+    arena_[heads_base_ + backward_arc(eid)] = g.edge_u(eid);
+  }
+}
+
+std::uint64_t CsrGraph::checksum() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t word) {
+    h ^= word;
+    h *= 0x100000001b3ull;  // FNV prime
+  };
+  mix(nodes_);
+  mix(edges_);
+  for (const std::uint32_t word : arena_) mix(word);
+  return h;
+}
+
+std::string to_string(const Path& path, const CsrGraph& g) {
+  std::string out = std::to_string(path.source);
+  NodeId at = path.source;
+  for (const ArcId a : path.arcs) {
+    at = g.head(a);
+    out += " -> ";
+    out += std::to_string(at);
+  }
+  return out;
+}
+
+}  // namespace spider::graph

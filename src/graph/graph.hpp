@@ -60,6 +60,16 @@ class Graph {
     return static_cast<NodeId>(adjacency_.size() - 1);
   }
 
+  /// Pre-sizes the node and edge stores for a bulk build. Large
+  /// generated topologies (100k+ nodes) otherwise pay one reallocation
+  /// cascade per growth step of the outer vectors; the per-node arc
+  /// lists still grow on demand because the final degrees are unknown.
+  void reserve(std::size_t nodes, std::size_t edges) {
+    adjacency_.reserve(nodes);
+    degree_.reserve(nodes);
+    edges_.reserve(edges);
+  }
+
   /// Adds an undirected edge (channel) between `u` and `v`.
   /// Self-loops are rejected: a payment channel with oneself is meaningless.
   /// Parallel edges are allowed (two nodes may maintain several channels,
@@ -156,13 +166,16 @@ struct Path {
   [[nodiscard]] std::size_t length() const noexcept { return arcs.size(); }
   [[nodiscard]] bool empty() const noexcept { return arcs.empty(); }
 
-  /// Destination node (source if the path is empty).
-  [[nodiscard]] NodeId destination(const Graph& g) const {
+  /// Destination node (source if the path is empty). Works with any
+  /// graph view exposing head() (graph::Graph, graph::CsrGraph).
+  template <class G>
+  [[nodiscard]] NodeId destination(const G& g) const {
     return arcs.empty() ? source : g.head(arcs.back());
   }
 
   /// Node sequence along the path, source first.
-  [[nodiscard]] std::vector<NodeId> nodes(const Graph& g) const {
+  template <class G>
+  [[nodiscard]] std::vector<NodeId> nodes(const G& g) const {
     std::vector<NodeId> ns;
     ns.reserve(arcs.size() + 1);
     ns.push_back(source);

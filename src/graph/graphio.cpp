@@ -49,7 +49,10 @@ Graph read_edge_list_csv(std::istream& is) {
     edges.emplace_back(u, v);
     max_node = std::max({max_node, u, v});
   }
-  Graph g(edges.empty() ? 0 : static_cast<std::size_t>(max_node) + 1);
+  const std::size_t nodes =
+      edges.empty() ? 0 : static_cast<std::size_t>(max_node) + 1;
+  Graph g(nodes);
+  g.reserve(nodes, edges.size());
   for (const auto& [u, v] : edges) g.add_edge(u, v);
   return g;
 }

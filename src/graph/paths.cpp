@@ -1,10 +1,13 @@
+// spider-lint: hot-path-file
+// Path queries dominate topology setup at 100k-node scale; containers
+// here must come from PathFinder's reusable scratch, not per-call
+// construction (enforced by the hot-loop-alloc lint rule).
+
 #include "graph/paths.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <queue>
-#include <set>
 #include <stdexcept>
 
 namespace spider::graph {
@@ -17,13 +20,40 @@ bool edge_blocked(std::span<const char> blocked, EdgeId e) {
   return !blocked.empty() && e < blocked.size() && blocked[e] != 0;
 }
 
-Path build_path_from_parents(const Graph& g, NodeId s, NodeId t,
-                             const std::vector<ArcId>& parent_arc) {
+}  // namespace
+
+template <class G>
+void PathFinder::begin_query(const G& g) {
+  const std::size_t n = g.node_count();
+  if (mark_.size() < n) {
+    mark_.resize(n, 0);
+    dist_.resize(n);
+    hops_.resize(n);
+    parent_.resize(n);
+  }
+  if (++stamp_ == 0) {  // stamp wrap: old marks could alias a new query
+    std::fill(mark_.begin(), mark_.end(), 0);
+    stamp_ = 1;
+  }
+  queue_.clear();
+  heap_.clear();
+  wheap_.clear();
+}
+
+template <class G>
+void PathFinder::grow_blocked(const G& g) {
+  // At rest the mask is all-zero (unblock_all undoes every write), so
+  // growing only needs to zero-fill the new tail.
+  if (blocked_.size() < g.edge_count()) blocked_.resize(g.edge_count(), 0);
+}
+
+template <class G>
+Path PathFinder::build_path(const G& g, NodeId s, NodeId t) const {
   Path p;
   p.source = s;
   NodeId at = t;
   while (at != s) {
-    const ArcId a = parent_arc[at];
+    const ArcId a = parent_[at];
     p.arcs.push_back(a);
     at = g.tail(a);
   }
@@ -31,62 +61,275 @@ Path build_path_from_parents(const Graph& g, NodeId s, NodeId t,
   return p;
 }
 
-}  // namespace
-
-std::optional<Path> bfs_shortest_path(const Graph& g, NodeId s, NodeId t,
-                                      std::span<const char> blocked_edges) {
+template <class G>
+std::optional<Path> PathFinder::bfs_shortest(
+    const G& g, NodeId s, NodeId t, std::span<const char> blocked_edges) {
   if (s >= g.node_count() || t >= g.node_count()) return std::nullopt;
   if (s == t) return Path{s, {}};
-  std::vector<ArcId> parent(g.node_count(), kInvalidArc);
-  std::vector<char> seen(g.node_count(), 0);
-  std::deque<NodeId> frontier{s};
-  seen[s] = 1;
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop_front();
+  begin_query(g);
+  queue_.push_back(s);
+  mark_[s] = stamp_;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
     for (const ArcId a : g.out_arcs(u)) {
       if (edge_blocked(blocked_edges, edge_of(a))) continue;
       const NodeId w = g.head(a);
-      if (seen[w]) continue;
-      seen[w] = 1;
-      parent[w] = a;
-      if (w == t) return build_path_from_parents(g, s, t, parent);
-      frontier.push_back(w);
+      if (mark_[w] == stamp_) continue;
+      mark_[w] = stamp_;
+      parent_[w] = a;
+      if (w == t) return build_path(g, s, t);
+      queue_.push_back(w);
     }
   }
   return std::nullopt;
 }
 
-std::optional<Path> dijkstra_shortest_path(const Graph& g, NodeId s, NodeId t,
-                                           const ArcWeightFn& weight,
-                                           std::span<const char> blocked_edges) {
+template <class G>
+std::optional<Path> PathFinder::dijkstra(const G& g, NodeId s, NodeId t,
+                                         const ArcWeightFn& weight,
+                                         std::span<const char> blocked_edges) {
   if (s >= g.node_count() || t >= g.node_count()) return std::nullopt;
   if (s == t) return Path{s, {}};
-  std::vector<double> dist(g.node_count(), kInf);
-  std::vector<ArcId> parent(g.node_count(), kInvalidArc);
-  using Item = std::pair<double, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  dist[s] = 0;
-  pq.emplace(0.0, s);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[u]) continue;
+  begin_query(g);
+  // heap_ + push_heap/pop_heap with std::greater<> pops in exactly the
+  // order std::priority_queue<.., std::greater<>> would (it is specified
+  // in terms of these calls), so results match the legacy implementation.
+  dist_[s] = 0;
+  mark_[s] = stamp_;
+  heap_.emplace_back(0.0, s);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d > dist_[u]) continue;
     if (u == t) break;
     for (const ArcId a : g.out_arcs(u)) {
       if (edge_blocked(blocked_edges, edge_of(a))) continue;
       const double w = weight(a);
       if (w < 0) throw std::invalid_argument("dijkstra: negative arc weight");
       const NodeId v = g.head(a);
-      if (dist[u] + w < dist[v]) {
-        dist[v] = dist[u] + w;
-        parent[v] = a;
-        pq.emplace(dist[v], v);
+      const double dv = mark_[v] == stamp_ ? dist_[v] : kInf;
+      if (dist_[u] + w < dv) {
+        dist_[v] = dist_[u] + w;
+        mark_[v] = stamp_;
+        parent_[v] = a;
+        heap_.emplace_back(dist_[v], v);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
   }
-  if (dist[t] == kInf) return std::nullopt;
-  return build_path_from_parents(g, s, t, parent);
+  if (mark_[t] != stamp_) return std::nullopt;
+  return build_path(g, s, t);
+}
+
+template <class G>
+std::vector<Path> PathFinder::yen(const G& g, NodeId s, NodeId t,
+                                  std::size_t k, const ArcWeightFn& weight) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  const ArcWeightFn w =
+      weight ? weight : ArcWeightFn([](ArcId) { return 1.0; });
+
+  auto first = dijkstra(g, s, t, w);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate set ordered by (weight, node-sequence) for determinism;
+  // the set and the known-paths filter live in PathFinder scratch, and
+  // the blocked mask is maintained via the undo list instead of an O(E)
+  // refill per spur -- the Yen quadratic-reallocation fix (ISSUE 7).
+  cand_.clear();
+  known_.clear();
+  known_.insert(result[0].arcs);
+  grow_blocked(g);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    prev_nodes_.clear();
+    prev_nodes_.push_back(prev.source);
+    for (const ArcId a : prev.arcs) prev_nodes_.push_back(g.head(a));
+    // Spur from each node of the previous path.
+    for (std::size_t i = 0; i < prev.arcs.size(); ++i) {
+      const NodeId spur_node = prev_nodes_[i];
+      // Root = prev[0..i).
+      const auto root_begin = prev.arcs.begin();
+      const auto root_end = root_begin + static_cast<std::ptrdiff_t>(i);
+      // Block the next edge of every known path sharing this root.
+      for (const Path& kp : result) {
+        if (kp.arcs.size() > i &&
+            std::equal(root_begin, root_end, kp.arcs.begin())) {
+          block_edge(edge_of(kp.arcs[i]));
+        }
+      }
+      // Block edges of the root so spur paths stay loopless trails.
+      for (auto it = root_begin; it != root_end; ++it) {
+        block_edge(edge_of(*it));
+      }
+      // Also exclude root nodes (other than spur_node) by blocking all
+      // their incident edges; keeps node-loopless property.
+      for (std::size_t j = 0; j < i; ++j) {
+        for (const ArcId a : g.out_arcs(prev_nodes_[j])) {
+          block_edge(edge_of(a));
+        }
+      }
+      auto spur = dijkstra(g, spur_node, t, w, blocked_);
+      unblock_all();
+      if (!spur) continue;
+      Path total;
+      total.source = s;
+      total.arcs.reserve(i + spur->arcs.size());
+      total.arcs.assign(root_begin, root_end);
+      total.arcs.insert(total.arcs.end(), spur->arcs.begin(),
+                        spur->arcs.end());
+      if (known_.contains(total.arcs)) continue;
+      const double cost = path_weight(total, w);
+      cand_.insert(Candidate{cost, std::move(total)});
+    }
+    if (cand_.empty()) break;
+    auto best = cand_.begin();
+    known_.insert(best->path.arcs);
+    result.push_back(best->path);
+    cand_.erase(best);
+  }
+  return result;
+}
+
+template <class G>
+std::vector<Path> PathFinder::edge_disjoint(const G& g, NodeId s, NodeId t,
+                                            std::size_t k) {
+  std::vector<Path> result;
+  grow_blocked(g);
+  while (result.size() < k) {
+    auto p = bfs_shortest(g, s, t, blocked_);
+    if (!p) break;
+    for (const ArcId a : p->arcs) block_edge(edge_of(a));
+    result.push_back(std::move(*p));
+  }
+  unblock_all();
+  return result;
+}
+
+template <class G>
+std::optional<Path> PathFinder::widest(const G& g, NodeId s, NodeId t,
+                                       const ArcWeightFn& capacity,
+                                       std::span<const char> blocked_edges) {
+  if (s >= g.node_count() || t >= g.node_count()) return std::nullopt;
+  if (s == t) return Path{s, {}};
+  // Dijkstra variant maximizing min-capacity; ties broken by hop count.
+  // Unmarked nodes read as width -1 (i.e. "unreached", as the legacy
+  // dense arrays initialised them).
+  begin_query(g);
+  dist_[s] = kInf;
+  hops_[s] = 0;
+  mark_[s] = stamp_;
+  wheap_.push_back({kInf, 0, s});
+  while (!wheap_.empty()) {
+    std::pop_heap(wheap_.begin(), wheap_.end());
+    const WidestItem it = wheap_.back();
+    wheap_.pop_back();
+    if (it.width < dist_[it.node] ||
+        (it.width == dist_[it.node] && it.hops > hops_[it.node])) {
+      continue;
+    }
+    for (const ArcId a : g.out_arcs(it.node)) {
+      if (edge_blocked(blocked_edges, edge_of(a))) continue;
+      const double cap = capacity(a);
+      if (cap <= 0) continue;
+      const NodeId v = g.head(a);
+      const double new_width = std::min(it.width, cap);
+      const std::size_t new_hops = it.hops + 1;
+      const bool unseen = mark_[v] != stamp_;
+      const double wv = unseen ? -1.0 : dist_[v];
+      const std::size_t hv =
+          unseen ? std::numeric_limits<std::size_t>::max() : hops_[v];
+      if (new_width > wv || (new_width == wv && new_hops < hv)) {
+        dist_[v] = new_width;
+        hops_[v] = new_hops;
+        mark_[v] = stamp_;
+        parent_[v] = a;
+        wheap_.push_back({new_width, new_hops, v});
+        std::push_heap(wheap_.begin(), wheap_.end());
+      }
+    }
+  }
+  if (mark_[t] != stamp_) return std::nullopt;
+  return build_path(g, s, t);
+}
+
+template <class G>
+std::vector<Path> PathFinder::edge_disjoint_widest(
+    const G& g, NodeId s, NodeId t, std::size_t k,
+    const ArcWeightFn& capacity) {
+  std::vector<Path> result;
+  grow_blocked(g);
+  while (result.size() < k) {
+    auto p = widest(g, s, t, capacity, blocked_);
+    if (!p) break;
+    for (const ArcId a : p->arcs) block_edge(edge_of(a));
+    result.push_back(std::move(*p));
+  }
+  unblock_all();
+  return result;
+}
+
+// The two graph views the library instantiates the finder for.
+template std::optional<Path> PathFinder::bfs_shortest<Graph>(
+    const Graph&, NodeId, NodeId, std::span<const char>);
+template std::optional<Path> PathFinder::bfs_shortest<CsrGraph>(
+    const CsrGraph&, NodeId, NodeId, std::span<const char>);
+template std::optional<Path> PathFinder::dijkstra<Graph>(
+    const Graph&, NodeId, NodeId, const ArcWeightFn&, std::span<const char>);
+template std::optional<Path> PathFinder::dijkstra<CsrGraph>(
+    const CsrGraph&, NodeId, NodeId, const ArcWeightFn&,
+    std::span<const char>);
+template std::vector<Path> PathFinder::yen<Graph>(const Graph&, NodeId,
+                                                  NodeId, std::size_t,
+                                                  const ArcWeightFn&);
+template std::vector<Path> PathFinder::yen<CsrGraph>(const CsrGraph&, NodeId,
+                                                     NodeId, std::size_t,
+                                                     const ArcWeightFn&);
+template std::vector<Path> PathFinder::edge_disjoint<Graph>(const Graph&,
+                                                            NodeId, NodeId,
+                                                            std::size_t);
+template std::vector<Path> PathFinder::edge_disjoint<CsrGraph>(const CsrGraph&,
+                                                               NodeId, NodeId,
+                                                               std::size_t);
+template std::optional<Path> PathFinder::widest<Graph>(
+    const Graph&, NodeId, NodeId, const ArcWeightFn&, std::span<const char>);
+template std::optional<Path> PathFinder::widest<CsrGraph>(
+    const CsrGraph&, NodeId, NodeId, const ArcWeightFn&,
+    std::span<const char>);
+template std::vector<Path> PathFinder::edge_disjoint_widest<Graph>(
+    const Graph&, NodeId, NodeId, std::size_t, const ArcWeightFn&);
+template std::vector<Path> PathFinder::edge_disjoint_widest<CsrGraph>(
+    const CsrGraph&, NodeId, NodeId, std::size_t, const ArcWeightFn&);
+
+// ---- free-function wrappers (one scratch setup per call) -------------
+
+std::optional<Path> bfs_shortest_path(const Graph& g, NodeId s, NodeId t,
+                                      std::span<const char> blocked_edges) {
+  PathFinder f;
+  return f.bfs_shortest(g, s, t, blocked_edges);
+}
+
+std::optional<Path> bfs_shortest_path(const CsrGraph& g, NodeId s, NodeId t,
+                                      std::span<const char> blocked_edges) {
+  PathFinder f;
+  return f.bfs_shortest(g, s, t, blocked_edges);
+}
+
+std::optional<Path> dijkstra_shortest_path(const Graph& g, NodeId s, NodeId t,
+                                           const ArcWeightFn& weight,
+                                           std::span<const char> blocked_edges) {
+  PathFinder f;
+  return f.dijkstra(g, s, t, weight, blocked_edges);
+}
+
+std::optional<Path> dijkstra_shortest_path(const CsrGraph& g, NodeId s,
+                                           NodeId t, const ArcWeightFn& weight,
+                                           std::span<const char> blocked_edges) {
+  PathFinder f;
+  return f.dijkstra(g, s, t, weight, blocked_edges);
 }
 
 double path_weight(const Path& p, const ArcWeightFn& weight) {
@@ -98,153 +341,55 @@ double path_weight(const Path& p, const ArcWeightFn& weight) {
 std::vector<Path> yen_k_shortest_paths(const Graph& g, NodeId s, NodeId t,
                                        std::size_t k,
                                        const ArcWeightFn& weight) {
-  std::vector<Path> result;
-  if (k == 0) return result;
-  const ArcWeightFn w =
-      weight ? weight : ArcWeightFn([](ArcId) { return 1.0; });
+  PathFinder f;
+  return f.yen(g, s, t, k, weight);
+}
 
-  auto first = dijkstra_shortest_path(g, s, t, w);
-  if (!first) return result;
-  result.push_back(std::move(*first));
-
-  // Candidate set ordered by (weight, node-sequence) for determinism.
-  struct Candidate {
-    double cost;
-    Path path;
-  };
-  auto cand_less = [](const Candidate& a, const Candidate& b) {
-    if (a.cost != b.cost) return a.cost < b.cost;
-    if (a.path.arcs.size() != b.path.arcs.size())
-      return a.path.arcs.size() < b.path.arcs.size();
-    return a.path.arcs < b.path.arcs;
-  };
-  std::set<Candidate, decltype(cand_less)> candidates(cand_less);
-  std::set<std::vector<ArcId>> known;
-  known.insert(result[0].arcs);
-
-  std::vector<char> blocked(g.edge_count(), 0);
-
-  while (result.size() < k) {
-    const Path& prev = result.back();
-    const auto prev_nodes = prev.nodes(g);
-    // Spur from each node of the previous path.
-    for (std::size_t i = 0; i < prev.arcs.size(); ++i) {
-      const NodeId spur_node = prev_nodes[i];
-      // Root = prev[0..i).
-      Path root;
-      root.source = s;
-      root.arcs.assign(prev.arcs.begin(),
-                       prev.arcs.begin() + static_cast<std::ptrdiff_t>(i));
-      std::fill(blocked.begin(), blocked.end(), 0);
-      // Block the next edge of every known path sharing this root.
-      for (const Path& kp : result) {
-        if (kp.arcs.size() > i &&
-            std::equal(root.arcs.begin(), root.arcs.end(), kp.arcs.begin())) {
-          blocked[edge_of(kp.arcs[i])] = 1;
-        }
-      }
-      // Block edges of the root so spur paths stay loopless trails.
-      for (const ArcId a : root.arcs) blocked[edge_of(a)] = 1;
-      // Also exclude root nodes (other than spur_node) by blocking all
-      // their incident edges; keeps node-loopless property.
-      for (std::size_t j = 0; j < i; ++j) {
-        for (const ArcId a : g.out_arcs(prev_nodes[j])) {
-          blocked[edge_of(a)] = 1;
-        }
-      }
-      auto spur = dijkstra_shortest_path(g, spur_node, t, w, blocked);
-      if (!spur) continue;
-      Path total = root;
-      total.arcs.insert(total.arcs.end(), spur->arcs.begin(),
-                        spur->arcs.end());
-      if (known.contains(total.arcs)) continue;
-      const double cost = path_weight(total, w);
-      candidates.insert(Candidate{cost, std::move(total)});
-    }
-    if (candidates.empty()) break;
-    auto best = candidates.begin();
-    known.insert(best->path.arcs);
-    result.push_back(best->path);
-    candidates.erase(best);
-  }
-  return result;
+std::vector<Path> yen_k_shortest_paths(const CsrGraph& g, NodeId s, NodeId t,
+                                       std::size_t k,
+                                       const ArcWeightFn& weight) {
+  PathFinder f;
+  return f.yen(g, s, t, k, weight);
 }
 
 std::vector<Path> edge_disjoint_shortest_paths(const Graph& g, NodeId s,
                                                NodeId t, std::size_t k) {
-  std::vector<Path> result;
-  std::vector<char> blocked(g.edge_count(), 0);
-  while (result.size() < k) {
-    auto p = bfs_shortest_path(g, s, t, blocked);
-    if (!p) break;
-    for (const ArcId a : p->arcs) blocked[edge_of(a)] = 1;
-    result.push_back(std::move(*p));
-  }
-  return result;
+  PathFinder f;
+  return f.edge_disjoint(g, s, t, k);
+}
+
+std::vector<Path> edge_disjoint_shortest_paths(const CsrGraph& g, NodeId s,
+                                               NodeId t, std::size_t k) {
+  PathFinder f;
+  return f.edge_disjoint(g, s, t, k);
 }
 
 std::optional<Path> widest_path(const Graph& g, NodeId s, NodeId t,
                                 const ArcWeightFn& capacity,
                                 std::span<const char> blocked_edges) {
-  if (s >= g.node_count() || t >= g.node_count()) return std::nullopt;
-  if (s == t) return Path{s, {}};
-  // Dijkstra variant maximizing min-capacity; ties broken by hop count.
-  std::vector<double> width(g.node_count(), -1.0);
-  std::vector<std::size_t> hops(g.node_count(),
-                                std::numeric_limits<std::size_t>::max());
-  std::vector<ArcId> parent(g.node_count(), kInvalidArc);
-  struct Item {
-    double width;
-    std::size_t hops;
-    NodeId node;
-    bool operator<(const Item& o) const {
-      if (width != o.width) return width < o.width;  // max-heap on width
-      return hops > o.hops;                          // then min hops
-    }
-  };
-  std::priority_queue<Item> pq;
-  width[s] = kInf;
-  hops[s] = 0;
-  pq.push({kInf, 0, s});
-  while (!pq.empty()) {
-    const Item it = pq.top();
-    pq.pop();
-    if (it.width < width[it.node] ||
-        (it.width == width[it.node] && it.hops > hops[it.node])) {
-      continue;
-    }
-    for (const ArcId a : g.out_arcs(it.node)) {
-      if (edge_blocked(blocked_edges, edge_of(a))) continue;
-      const double cap = capacity(a);
-      if (cap <= 0) continue;
-      const NodeId v = g.head(a);
-      const double new_width = std::min(it.width, cap);
-      const std::size_t new_hops = it.hops + 1;
-      if (new_width > width[v] ||
-          (new_width == width[v] && new_hops < hops[v])) {
-        width[v] = new_width;
-        hops[v] = new_hops;
-        parent[v] = a;
-        pq.push({new_width, new_hops, v});
-      }
-    }
-  }
-  if (width[t] < 0) return std::nullopt;
-  return build_path_from_parents(g, s, t, parent);
+  PathFinder f;
+  return f.widest(g, s, t, capacity, blocked_edges);
+}
+
+std::optional<Path> widest_path(const CsrGraph& g, NodeId s, NodeId t,
+                                const ArcWeightFn& capacity,
+                                std::span<const char> blocked_edges) {
+  PathFinder f;
+  return f.widest(g, s, t, capacity, blocked_edges);
 }
 
 std::vector<Path> edge_disjoint_widest_paths(const Graph& g, NodeId s,
                                              NodeId t, std::size_t k,
                                              const ArcWeightFn& capacity) {
-  std::vector<Path> result;
-  std::vector<char> blocked(g.edge_count(), 0);
-  while (result.size() < k) {
-    auto p = widest_path(g, s, t, capacity, blocked);
-    if (!p) break;
-    for (const ArcId a : p->arcs) blocked[edge_of(a)] = 1;
-    result.push_back(std::move(*p));
-  }
-  return result;
+  PathFinder f;
+  return f.edge_disjoint_widest(g, s, t, k, capacity);
+}
+
+std::vector<Path> edge_disjoint_widest_paths(const CsrGraph& g, NodeId s,
+                                             NodeId t, std::size_t k,
+                                             const ArcWeightFn& capacity) {
+  PathFinder f;
+  return f.edge_disjoint_widest(g, s, t, k, capacity);
 }
 
 double path_bottleneck(const Path& p, const ArcWeightFn& capacity) {
@@ -260,6 +405,8 @@ std::vector<EdgeId> bfs_spanning_tree(const Graph& g, NodeId root) {
   }
   std::vector<EdgeId> tree;
   tree.reserve(g.node_count() - 1);
+  // Cold path (Proposition 1 setup, not per-query routing).
+  // spider-lint: allow(hot-loop-alloc)
   std::vector<char> seen(g.node_count(), 0);
   std::deque<NodeId> frontier{root};
   seen[root] = 1;
@@ -281,6 +428,8 @@ Path tree_path(const Graph& g, std::span<const EdgeId> tree_edges, NodeId s,
                NodeId t) {
   // BFS restricted to tree edges; the tree guarantees a unique path.
   // Everything starts blocked; tree edges are unblocked in one pass.
+  // Cold path (circulation decomposition, not per-query routing).
+  // spider-lint: allow(hot-loop-alloc)
   std::vector<char> blocked(g.edge_count(), 1);
   for (const EdgeId e : tree_edges) blocked[e] = 0;
   auto p = bfs_shortest_path(g, s, t, blocked);

@@ -16,6 +16,7 @@ void require(bool cond, const char* msg) {
 Graph make_line(std::size_t n) {
   require(n >= 1, "make_line: need n >= 1");
   Graph g(n);
+  g.reserve(n, n - 1);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
   }
@@ -25,6 +26,7 @@ Graph make_line(std::size_t n) {
 Graph make_ring(std::size_t n) {
   require(n >= 3, "make_ring: need n >= 3");
   Graph g(n);
+  g.reserve(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
@@ -34,6 +36,7 @@ Graph make_ring(std::size_t n) {
 Graph make_star(std::size_t n) {
   require(n >= 2, "make_star: need n >= 2");
   Graph g(n);
+  g.reserve(n, n - 1);
   for (std::size_t i = 1; i < n; ++i) {
     g.add_edge(0, static_cast<NodeId>(i));
   }
@@ -43,6 +46,7 @@ Graph make_star(std::size_t n) {
 Graph make_grid(std::size_t rows, std::size_t cols) {
   require(rows >= 1 && cols >= 1, "make_grid: need rows, cols >= 1");
   Graph g(rows * cols);
+  g.reserve(rows * cols, rows * (cols - 1) + (rows - 1) * cols);
   auto id = [cols](std::size_t r, std::size_t c) {
     return static_cast<NodeId>(r * cols + c);
   };
@@ -58,6 +62,7 @@ Graph make_grid(std::size_t rows, std::size_t cols) {
 Graph make_complete(std::size_t n) {
   require(n >= 1, "make_complete: need n >= 1");
   Graph g(n);
+  g.reserve(n, n * (n - 1) / 2);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
@@ -83,6 +88,8 @@ Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
   std::bernoulli_distribution coin(p);
   for (int attempt = 0; attempt < 1000; ++attempt) {
     Graph g(n);
+    g.reserve(n, static_cast<std::size_t>(p * static_cast<double>(n) *
+                                          static_cast<double>(n - 1) / 2));
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         if (coin(rng)) {
@@ -101,8 +108,12 @@ Graph make_scale_free(std::size_t n, std::size_t m, std::uint64_t seed) {
   require(n > m, "make_scale_free: need n > m");
   std::mt19937_64 rng(seed);
   Graph g(n);
+  // m*(m+1)/2 clique edges plus m preferential edges per later node.
+  const std::size_t expected_edges = m * (m + 1) / 2 + (n - m - 1) * m;
+  g.reserve(n, expected_edges);
   // Seed clique over the first m+1 nodes.
   std::vector<NodeId> endpoint_pool;  // each node appears once per degree
+  endpoint_pool.reserve(2 * expected_edges);
   for (std::size_t i = 0; i <= m; ++i) {
     for (std::size_t j = i + 1; j <= m; ++j) {
       g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
@@ -139,6 +150,7 @@ Graph make_small_world(std::size_t n, std::size_t k, double beta,
   std::bernoulli_distribution rewire(beta);
   std::uniform_int_distribution<std::size_t> any_node(0, n - 1);
   Graph g(n);
+  g.reserve(n, n * k);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t off = 1; off <= k; ++off) {
       NodeId u = static_cast<NodeId>(i);
@@ -166,6 +178,7 @@ Graph make_isp32() {
   constexpr std::size_t kCores = 8;
   constexpr std::size_t kEdges = 24;
   Graph g(kCores + kEdges);
+  g.reserve(kCores + kEdges, 152);
   for (std::size_t i = 0; i < kCores; ++i) {
     for (std::size_t j = i + 1; j < kCores; ++j) {
       g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
@@ -200,6 +213,7 @@ Graph make_ripple_like(std::size_t n, std::uint64_t seed) {
 Graph make_lightning_like(std::size_t n, std::uint64_t seed) {
   require(n >= 8, "make_lightning_like: need n >= 8");
   Graph g = make_scale_free(n, 2, seed);
+  g.reserve(n, g.edge_count() + n / 16);
   // Strengthen the hub structure: every 16th node opens a channel to one
   // of the five oldest (highest-degree) nodes, as merchants do towards
   // well-connected Lightning hubs.

@@ -16,18 +16,29 @@ const std::vector<graph::Path>& PathCache::paths(graph::NodeId src,
   std::vector<graph::Path> result;
   switch (mode_) {
     case PathMode::kShortest: {
-      auto p = graph::bfs_shortest_path(*graph_, src, dst);
+      auto p = finder_.bfs_shortest(csr_, src, dst);
       if (p) result.push_back(std::move(*p));
       break;
     }
     case PathMode::kEdgeDisjoint:
-      result = graph::edge_disjoint_shortest_paths(*graph_, src, dst, k_);
+      result = finder_.edge_disjoint(csr_, src, dst, k_);
       break;
     case PathMode::kKShortest:
-      result = graph::yen_k_shortest_paths(*graph_, src, dst, k_);
+      result = finder_.yen(csr_, src, dst, k_);
       break;
   }
   return cache_.emplace(key, std::move(result)).first->second;
+}
+
+void PathCache::warm(const graph::PathTable& table) {
+  if (graph_ == nullptr) {
+    throw std::logic_error("PathCache: not bound to a graph");
+  }
+  for (const auto& [src, dst] : table.pairs()) {
+    const auto span = table.find(src, dst);
+    cache_.emplace(std::make_pair(src, dst),
+                   std::vector<graph::Path>(span.begin(), span.end()));
+  }
 }
 
 }  // namespace spider::schemes

@@ -2,12 +2,20 @@
 // Lazily-computed per-pair path tables shared by the routing schemes.
 // The paper's evaluation restricts Spider to 4 edge-disjoint shortest
 // paths per pair (§6.1); baselines use the single shortest path.
+//
+// The cache freezes the bound graph into a CsrGraph at construction and
+// answers misses through a reusable PathFinder, so a cold sweep over a
+// 3774-node Ripple topology no longer pays per-query scratch
+// allocation. A precomputed graph::PathTable (exp/path_precompute) can
+// pre-seed the cache via warm().
 
 #include <map>
 #include <utility>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "graph/path_table.hpp"
 #include "graph/paths.hpp"
 
 namespace spider::schemes {
@@ -22,15 +30,24 @@ class PathCache {
  public:
   PathCache() = default;
   PathCache(const graph::Graph* g, PathMode mode, std::size_t k)
-      : graph_(g), mode_(mode), k_(k) {}
+      : graph_(g), csr_(*g), mode_(mode), k_(k) {}
 
   /// Paths for (src, dst), computed on first use and cached.
   const std::vector<graph::Path>& paths(graph::NodeId src, graph::NodeId dst);
+
+  /// Seeds the cache from a precomputed table (sharded precompute,
+  /// exp/path_precompute.hpp). Only pairs the table covers are copied;
+  /// other pairs still compute lazily. The table's paths must have been
+  /// built with the same mode/k to keep results identical to lazy
+  /// computation -- callers own that contract.
+  void warm(const graph::PathTable& table);
 
   [[nodiscard]] std::size_t cached_pairs() const { return cache_.size(); }
 
  private:
   const graph::Graph* graph_ = nullptr;
+  graph::CsrGraph csr_;        // frozen view of *graph_
+  graph::PathFinder finder_;   // reusable per-query scratch
   PathMode mode_ = PathMode::kShortest;
   std::size_t k_ = 1;
   std::map<std::pair<graph::NodeId, graph::NodeId>, std::vector<graph::Path>>

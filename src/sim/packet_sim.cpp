@@ -14,6 +14,7 @@ PacketSimulator::PacketSimulator(const graph::Graph& g,
                                  std::vector<core::Amount> edge_capacity,
                                  PacketSimConfig config)
     : graph_(g),
+      csr_(g),
       capacity_(std::move(edge_capacity)),
       net_(g, capacity_),
       cfg_(config),
@@ -125,13 +126,21 @@ core::SlabHandle PacketSimulator::handle_of(core::TxUnitId uid) const {
   return core::SlabHandle::unpack(row[uid.seq]);
 }
 
+void PacketSimulator::init_pair_paths(PairState& ps, core::NodeId src,
+                                      core::NodeId dst) {
+  if (ps.paths_init) return;
+  ps.paths_init = true;
+  if (cfg_.paths != nullptr && cfg_.paths->has_pair(src, dst)) {
+    const std::span<const graph::Path> pre = cfg_.paths->find(src, dst);
+    ps.paths.assign(pre.begin(), pre.end());
+    return;
+  }
+  ps.paths = finder_.edge_disjoint(csr_, src, dst, cfg_.path_k);
+}
+
 const graph::Path* PacketSimulator::select_path(const core::TxUnit& unit) {
   PairState& ps = pair_state(unit.src, unit.dst);
-  if (!ps.paths_init) {
-    ps.paths_init = true;
-    ps.paths = graph::edge_disjoint_shortest_paths(graph_, unit.src, unit.dst,
-                                                   cfg_.path_k);
-  }
+  init_pair_paths(ps, unit.src, unit.dst);
   if (ps.paths.empty()) return nullptr;
   if (cfg_.path_policy == UnitPathPolicy::kRoundRobin) {
     if (faults_ == nullptr) return &ps.paths[ps.rr++ % ps.paths.size()];
@@ -263,11 +272,7 @@ std::size_t PacketSimulator::backlog_units() const {
 PacketSimulator::PairState& PacketSimulator::spider_pair(core::NodeId src,
                                                          core::NodeId dst) {
   PairState& ps = pair_state(src, dst);
-  if (!ps.paths_init) {
-    ps.paths_init = true;
-    ps.paths =
-        graph::edge_disjoint_shortest_paths(graph_, src, dst, cfg_.path_k);
-  }
+  init_pair_paths(ps, src, dst);
   if (!ps.cc_init) {
     ps.cc_init = true;
     ps.win.assign(ps.paths.size(), cfg_.cc_initial_window);

@@ -35,6 +35,8 @@
 #include "core/slab.hpp"
 #include "core/transport.hpp"
 #include "core/types.hpp"
+#include "graph/csr.hpp"
+#include "graph/path_table.hpp"
 #include "graph/paths.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -123,6 +125,14 @@ struct PacketSimConfig {
   /// Must outlive run().
   InvariantAuditor* auditor = nullptr;
 
+  /// Optional precomputed candidate-path table (exp/path_precompute).
+  /// Pairs the table covers skip the lazy per-pair edge-disjoint
+  /// computation; uncovered pairs still compute on first use. The table
+  /// must hold `path_k` edge-disjoint shortest paths per covered pair
+  /// (what exp::precompute_paths builds), so metrics are byte-identical
+  /// with or without it. Must outlive the simulator.
+  const graph::PathTable* paths = nullptr;
+
   /// Optional fault injector (faults/injector.hpp). When set, the
   /// simulator binds it at run() start and schedules one typed
   /// kFaultStart event per plan entry: down nodes neither forward nor
@@ -210,6 +220,10 @@ class PacketSimulator {
                        std::uint64_t b);
 
   [[nodiscard]] PairState& pair_state(core::NodeId src, core::NodeId dst);
+  /// Fills `ps.paths` on first use: from cfg_.paths when the table
+  /// covers the pair, else edge-disjoint shortest paths over the frozen
+  /// CSR view through the reusable finder scratch.
+  void init_pair_paths(PairState& ps, core::NodeId src, core::NodeId dst);
   /// Handle of an in-flight unit (stale after settle/fail -- the slab's
   /// generation check turns late lookups into no-ops).
   [[nodiscard]] core::SlabHandle handle_of(core::TxUnitId uid) const;
@@ -289,6 +303,11 @@ class PacketSimulator {
   [[nodiscard]] std::optional<std::string> audit_queue_counters() const;
 
   const graph::Graph& graph_;
+  /// Frozen CSR view of graph_: the arena the hot path-query loops walk.
+  graph::CsrGraph csr_;
+  /// Reusable path-query scratch (single-threaded event loop: one is
+  /// enough).
+  graph::PathFinder finder_;
   std::vector<core::Amount> capacity_;
   core::ChannelNetwork net_;
   PacketSimConfig cfg_;

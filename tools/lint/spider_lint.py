@@ -48,6 +48,21 @@ UNORDERED_VAR_RE = re.compile(
 )
 # Fault-injection vocabulary (src/faults/ public types).
 FAULT_TYPE_RE = re.compile(r"\bFault(?:Plan|Profile|Event|Injector|Kind)\b")
+# Opt-in marker for the hot-loop allocation rule: files whose functions
+# sit on the per-query path of the simulators declare themselves with
+# `// spider-lint: hot-path-file` and are then checked for per-call
+# container construction.
+HOT_PATH_MARKER_RE = re.compile(r"//\s*spider-lint:\s*hot-path-file\b")
+# A named container variable constructed with arguments:
+# `std::vector<char> seen(n, 0);`. Qualified definitions
+# (`std::vector<Path> PathFinder::yen(...)`) never match (the `::`
+# breaks the name-then-paren adjacency); unqualified function
+# signatures are excluded below by their parameter-list shape.
+HOT_ALLOC_RE = re.compile(
+    r"\b(?:std::)?(?:vector|deque|list|set|map|multiset|multimap"
+    r"|unordered_set|unordered_map|priority_queue|string)\s*"
+    r"<[^;(){}]*>\s+[A-Za-z_]\w*\s*\(([^)]*)"
+)
 # Construction of a std RNG engine or distribution.
 STD_RNG_RE = re.compile(
     r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
@@ -105,6 +120,12 @@ RULES = [
         "ptr-key-order",
         "ordered container keyed by a pointer: pointer order depends on "
         "the allocator and varies run to run",
+    ),
+    Rule(
+        "hot-loop-alloc",
+        "container constructed per call in a `// spider-lint: "
+        "hot-path-file`: hoist it into reusable scratch (graph::"
+        "PathFinder style) so hot query loops do not allocate",
     ),
     Rule(
         "fault-sampling",
@@ -183,6 +204,11 @@ class FileLinter:
         self.mentions_fault_types = any(
             FAULT_TYPE_RE.search(code) for code in self.code_lines
         )
+        # Hot-path files opt into the per-call allocation rule via a
+        # marker comment (searched raw: the marker IS a comment).
+        self.hot_path_file = any(
+            HOT_PATH_MARKER_RE.search(raw) for raw in self.raw_lines
+        )
 
     def is_allowed(self, lineno: int, rule: str) -> bool:
         """True if line `lineno` (0-based) carries or inherits an
@@ -207,6 +233,7 @@ class FileLinter:
             self.check_wall_clock(i, code)
             self.check_float(i, code)
             self.check_ptr_key(i, code)
+            self.check_hot_alloc(i, code)
             self.check_fault_sampling(i, code)
         return self.findings
 
@@ -279,6 +306,28 @@ class FileLinter:
                 "`float` in simulation code: accumulate in double or "
                 "integer milli-units (Amount)",
             )
+
+    def check_hot_alloc(self, i: int, code: str) -> None:
+        # Only in files that opted in with the hot-path-file marker: a
+        # container variable constructed with arguments allocates on
+        # every call of the enclosing function. Parameter lists of
+        # container-returning functions (`std::vector<Path> f(const
+        # Graph& g, ...)`) are excluded by their `const`/`&` tokens --
+        # hot-path ctor args are sizes and fill values, not references.
+        if not self.hot_path_file:
+            return
+        m = HOT_ALLOC_RE.search(code)
+        if not m:
+            return
+        args = m.group(1)
+        if re.search(r"\bconst\b|&", args):
+            return
+        self.report(
+            i,
+            "hot-loop-alloc",
+            "container constructed per call in a hot-path file; hoist "
+            "into reusable scratch or allowlist with a justification",
+        )
 
     def check_fault_sampling(self, i: int, code: str) -> None:
         # A file that names fault types AND constructs a std RNG engine

@@ -1,0 +1,21 @@
+// Golden fixture: per-call container construction in an opted-in
+// hot-path file must fire [hot-loop-alloc].
+// spider-lint: hot-path-file
+#include <vector>
+
+int query(std::size_t n) {
+  std::vector<char> seen(n, 0);   // fires: allocates every call
+  std::vector<int> dist(n);       // fires: allocates every call
+  std::vector<int> scratch;       // clean: no ctor args (member idiom)
+  scratch.push_back(static_cast<int>(seen.size()));
+  return static_cast<int>(dist.size() + scratch.size());
+}
+
+// Function signatures returning containers are not allocations.
+std::vector<int> make_table(const std::vector<char>& seen, int& out);
+
+int allowed(std::size_t n) {
+  // spider-lint: allow(hot-loop-alloc) fixture: one-shot setup path
+  std::vector<char> mask(n, 1);
+  return static_cast<int>(mask.size());
+}

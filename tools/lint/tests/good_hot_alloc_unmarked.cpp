@@ -1,0 +1,9 @@
+// Golden fixture: the identical construction in a file WITHOUT the
+// hot-path-file marker is clean -- the rule is strictly opt-in.
+#include <vector>
+
+int query(std::size_t n) {
+  std::vector<char> seen(n, 0);
+  std::vector<int> dist(n);
+  return static_cast<int>(seen.size() + dist.size());
+}

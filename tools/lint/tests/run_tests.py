@@ -63,8 +63,10 @@ def main() -> int:
     expect_fires("bad_float.cpp", ["float-accum"])
     expect_fires("bad_ptr_key.cpp", ["ptr-key-order"])
     expect_fires("bad_fault_sampling.cpp", ["fault-sampling"])
+    expect_fires("bad_hot_alloc.cpp", ["hot-loop-alloc"])
     expect_clean("good_allowlist.cpp")
     expect_clean("good_clean.cpp")
+    expect_clean("good_hot_alloc_unmarked.cpp")
 
     # Per-line counts: bad_rand has four firing lines, bad_wall_clock three.
     code, out = run_lint(os.path.join(HERE, "bad_rand.cpp"))
@@ -72,6 +74,12 @@ def main() -> int:
     code, out = run_lint(os.path.join(HERE, "bad_wall_clock.cpp"))
     check("bad_wall_clock.cpp: 3 findings", out.count("[wall-clock]") == 3, out)
     check("bad_wall_clock.cpp: steady_clock line clean", ":10:" not in out, out)
+
+    # hot-loop-alloc: exactly the two per-call constructions fire; the
+    # argless declaration, the function signature, and the allow()ed
+    # construction stay clean.
+    code, out = run_lint(os.path.join(HERE, "bad_hot_alloc.cpp"))
+    check("bad_hot_alloc.cpp: 2 findings", out.count("[hot-loop-alloc]") == 2, out)
 
     # The seeded generator is the sanctioned home for fault randomness:
     # the same engine+fault-type combination must NOT fire under
