@@ -1,0 +1,91 @@
+#pragma once
+// Clang Thread Safety Analysis surface for the spider tree, plus the
+// annotated mutex the analysis needs to be useful.
+//
+// Two layers live here:
+//
+//  1. The attribute macros (CAPABILITY, GUARDED_BY, REQUIRES, ...)
+//     straight from the Clang TSA vocabulary
+//     (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under
+//     any compiler without the `capability` attribute -- GCC, MSVC --
+//     they expand to nothing, so annotated code compiles everywhere
+//     and is *checked* wherever Clang builds with -Wthread-safety
+//     (CMake option SPIDER_THREAD_SAFETY, on by default; CI's clang
+//     legs run it under -Werror).
+//
+//  2. core::Mutex and core::MutexLock, thin zero-overhead wrappers
+//     over std::mutex / lock_guard carrying the annotations. They
+//     exist because libstdc++'s std::mutex has no TSA attributes: a
+//     field declared GUARDED_BY(a raw std::mutex) would warn on every
+//     access even under a std::lock_guard, since the analysis cannot
+//     see the acquire. All lock-protected state in this codebase uses
+//     these wrappers (DESIGN.md §11 "shared-state and thread-safety
+//     contract"); the cross-TU analyzer's `guarded-by` rule
+//     cross-checks that every field written under a lock scope is
+//     declared GUARDED_BY.
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SPIDER_NO_THREAD_SAFETY_ANALYSIS)
+#define SPIDER_TSA_ATTR(x) __attribute__((x))
+#else
+#define SPIDER_TSA_ATTR(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) SPIDER_TSA_ATTR(capability(x))
+#define SCOPED_CAPABILITY SPIDER_TSA_ATTR(scoped_lockable)
+#define GUARDED_BY(x) SPIDER_TSA_ATTR(guarded_by(x))
+#define PT_GUARDED_BY(x) SPIDER_TSA_ATTR(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) SPIDER_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SPIDER_TSA_ATTR(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) SPIDER_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SPIDER_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SPIDER_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SPIDER_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SPIDER_TSA_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SPIDER_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  SPIDER_TSA_ATTR(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) SPIDER_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) SPIDER_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SPIDER_TSA_ATTR(assert_capability(x))
+#define RETURN_CAPABILITY(x) SPIDER_TSA_ATTR(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS SPIDER_TSA_ATTR(no_thread_safety_analysis)
+
+namespace spider::core {
+
+/// Annotated mutex. Exactly a std::mutex at runtime; at compile time
+/// (clang, -Wthread-safety) it is a capability that GUARDED_BY fields
+/// and REQUIRES functions can name.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over core::Mutex, the annotated twin of std::lock_guard.
+/// Scoped: clang tracks the capability from construction to the end of
+/// the enclosing block.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace spider::core

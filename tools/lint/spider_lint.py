@@ -1,12 +1,25 @@
 #!/usr/bin/env python3
-"""spider_lint: determinism & conservation static checks for Spider C++.
+"""spider_lint: determinism & shared-state static checks for Spider C++.
 
 The simulator's published numbers rest on a contract the compiler cannot
-see: same-seed runs are bit-for-bit deterministic and no code path
-depends on iteration order, wall-clock time, or platform randomness.
-This linter enforces the mechanical half of that contract over `src/`,
-`bench/`, and `examples/` (see tools/lint/lint_rules.md for the rule
-catalogue and DESIGN.md "Determinism contract" for the policy).
+see: same-seed runs are bit-for-bit deterministic, no code path depends
+on iteration order, wall-clock time, or platform randomness, and -- the
+PDES refactor's precondition -- no shared mutable state exists outside
+the annotated worker-pool internals. This linter enforces the mechanical
+half of that contract over `src/`, `bench/`, and `examples/` (see
+tools/lint/lint_rules.md for the rule catalogue and DESIGN.md §7/§11 for
+the policy).
+
+Two layers run on every invocation:
+
+  * line-local rules (unordered-container, nondet-random, wall-clock,
+    float-accum, ptr-key-order, hot-loop-alloc, fault-sampling), regex
+    over one line at a time;
+  * multi-pass rules (mutable-global, rng-seed, runner-capture,
+    guarded-by) that first build a lightweight repo-wide symbol index
+    (brace-scope map per file, GUARDED_BY annotations, Runner-typed
+    variables) and then check each file against it. The index summary
+    can be cached across runs with --index-cache.
 
 Zero dependencies beyond the Python 3 standard library; regex-driven on
 purpose -- it runs in well under a second over the whole tree and never
@@ -14,25 +27,37 @@ needs a compile database.
 
 Usage:
     tools/lint/spider_lint.py src bench examples
+    tools/lint/spider_lint.py --all
+    tools/lint/spider_lint.py --all --json findings.json
+    tools/lint/spider_lint.py --all --fix-suggestions
+    tools/lint/spider_lint.py --audit-suppressions src bench examples
     tools/lint/spider_lint.py --list-rules
     tools/lint/spider_lint.py file.cpp another.hpp
 
 Exit status: 0 when clean, 1 when any finding fired, 2 on usage errors.
+--audit-suppressions always exits 0: it is an inventory, not a gate.
 
 Suppression: append `// spider-lint: allow(<rule>)` to the offending
 line, or put it alone on the line directly above. Every suppression
-should carry a human-readable justification next to it.
+should carry a human-readable justification next to it;
+--audit-suppressions lists them all and calls out bare markers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
 from typing import Iterator, NamedTuple
 
 CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
+
+# Roots --all expands to, relative to the repository root (two levels up
+# from this file). tools/lint/tests/ is deliberately absent: fixtures
+# exist to fire.
+DEFAULT_ROOTS = ("src", "bench", "examples")
 
 ALLOW_RE = re.compile(r"//\s*spider-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
 
@@ -70,6 +95,92 @@ STD_RNG_RE = re.compile(
     r"|(?:uniform_(?:int|real)|exponential|poisson|normal|lognormal"
     r"|bernoulli|geometric|binomial|discrete)_distribution)\b"
 )
+# A std RNG *engine* (not distribution) constructed into a named
+# variable. Group 1 = engine type, 2 = variable, 3 = open delimiter.
+RNG_ENGINE_CTOR_RE = re.compile(
+    r"\bstd::(mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux\w+|knuth_b)\s+([A-Za-z_]\w*)\s*([;({])"
+)
+# Seed expressions that tie an engine to the config/seed-derivation
+# chain. Anything else is an ad-hoc stream.
+SEED_FLOW_RE = re.compile(r"derive_seed|seed|Seed|SEED|salt")
+
+# -- multi-pass regexes ------------------------------------------------
+
+# `<type> <field> GUARDED_BY(<mutex>)` annotation on a declaration.
+GUARDED_BY_RE = re.compile(r"\b([A-Za-z_]\w*)\s+GUARDED_BY\s*\(\s*(\w+)\s*\)")
+# RAII lock scopes over std or spider mutex wrappers.
+LOCK_RAII_RE = re.compile(
+    r"\b(?:std::)?(?:lock_guard|unique_lock|scoped_lock)\s*"
+    r"(?:<[^;>]*>)?\s+\w+\s*[({]\s*(\w+)"
+    r"|\b(?:core::)?MutexLock\s+\w+\s*[({]\s*&?\s*(\w+)"
+)
+EXPLICIT_LOCK_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*lock\s*\(\s*\)")
+EXPLICIT_UNLOCK_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*unlock\s*\(\s*\)")
+# Member-style writes (house style: trailing-underscore members, or
+# explicit this->). Group: the field name.
+MEMBER_WRITE_RE = re.compile(
+    r"(?:\+\+|--)\s*(?:this\s*->\s*)?([A-Za-z_]\w*_)\b"
+    r"|\b(?:this\s*->\s*)?([A-Za-z_]\w*_)\s*(?:\+\+|--)"
+    r"|\b(?:this\s*->\s*)?([A-Za-z_]\w*_)\s*(?:[+\-*/|&^]|<<|>>)?=(?!=)"
+)
+# Variables declared (anywhere in the indexed tree) with type
+# exp::Runner / Runner, by value or reference. Both alternations below
+# capture the variable name.
+RUNNER_VAR_RE = re.compile(
+    r"\b(?:exp::)?Runner\s*&?\s+([A-Za-z_]\w*)\s*[;({=,)]"
+)
+# A parallel fan-out call: `<receiver>.map(` / `<receiver>.for_each(`.
+RUNNER_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*(map|for_each)\s*\(")
+# Static / thread_local storage.
+STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?(static|thread_local)\b")
+CONST_QUAL_RE = re.compile(r"\b(?:const|constexpr|constinit)\b")
+# One parameter declaration: type tokens then a name (defaults already
+# stripped), or an unnamed `T&` / `T*`. A constructor-argument
+# expression (`7`, `seed ^ 3`, `g, src`) never has this shape.
+PARAM_DECL_RE = re.compile(
+    r"^(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<.*>)?[\s&*\]>]+&?\s*[A-Za-z_]\w*$"
+    r"|^(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<.*>)?\s*[&*]+$"
+    r"|^void$"
+)
+
+
+def split_top_level_commas(s: str) -> list[str]:
+    """Splits on commas outside (), <>, [] nesting."""
+    out: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in s:
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth -= 1
+        if c == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    out.append("".join(cur))
+    return out
+
+
+def looks_like_params(args: str) -> bool:
+    """True when a parenthesized list reads as parameter declarations
+    rather than constructor-argument expressions."""
+    args = args.strip()
+    if args == "":
+        return True
+    for piece in split_top_level_commas(args):
+        piece = re.sub(r"=.*$", "", piece.strip()).strip()  # drop defaults
+        if not PARAM_DECL_RE.match(piece):
+            return False
+    return True
+
+# Known-safe shared state. Every entry is (path suffix, identifier,
+# why). Keep this list short: the PDES contract (DESIGN.md §11) wants
+# zero mutable globals, and an allowlist entry is a debt the PDES
+# refactor must pay down.
+MUTABLE_GLOBAL_ALLOWLIST: list[tuple[str, str, str]] = []
 
 
 class Finding(NamedTuple):
@@ -77,6 +188,7 @@ class Finding(NamedTuple):
     line: int  # 1-based
     rule: str
     message: str
+    suggestion: str = ""
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
@@ -133,9 +245,52 @@ RULES = [
         "schedules must come from faults::generate_plan (per-kind salted "
         "streams), never from a local engine",
     ),
+    Rule(
+        "mutable-global",
+        "mutable namespace-scope/static/thread_local state: shared "
+        "mutable state is the core PDES hazard; pass state through "
+        "configs/locals or allowlist with a justification",
+    ),
+    Rule(
+        "rng-seed",
+        "RNG engine whose seed does not flow from derive_seed or a "
+        "config seed: default-constructed or literal-seeded engines "
+        "break the one-seed-per-trial discipline",
+    ),
+    Rule(
+        "runner-capture",
+        "lambda passed to exp::Runner::map/for_each mutates a "
+        "by-reference capture without indexing by the chunk parameter: "
+        "chunks race on it and byte-identity across thread counts dies",
+    ),
+    Rule(
+        "guarded-by",
+        "field assigned under a lock scope but not declared "
+        "GUARDED_BY(<mutex>): the clang thread-safety analysis cannot "
+        "see it (core/thread_annotations.hpp)",
+    ),
 ]
 
 RULE_NAMES = {r.name for r in RULES}
+
+# Rules whose findings come from the index-backed passes, not the
+# per-line scan.
+MULTI_PASS_RULES = {"mutable-global", "rng-seed", "runner-capture", "guarded-by"}
+
+SUGGESTIONS = {
+    "mutable-global": "move the state into a config/struct passed by "
+    "value, or add `// spider-lint: allow(mutable-global) <why safe>`",
+    "rng-seed": "seed from the trial chain: "
+    "`std::mt19937_64 rng(exp::derive_seed(base_seed, index));` or a "
+    "config seed, or add `// spider-lint: allow(rng-seed) <why safe>`",
+    "runner-capture": "write only through your own slot "
+    "(`out[i] = ...`), or make the capture const; if the write is "
+    "provably chunk-private add "
+    "`// spider-lint: allow(runner-capture) <why safe>`",
+    "guarded-by": "annotate the declaration: "
+    "`<type> <field> GUARDED_BY(<mutex>);` "
+    "(include core/thread_annotations.hpp)",
+}
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -183,6 +338,171 @@ def allowed_rules(raw_line: str) -> set[str]:
     return {r.strip() for r in m.group(1).split(",")}
 
 
+def is_allowed(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    """True if line `lineno` (0-based) carries or inherits an
+    allow(<rule>) suppression (same line or the line above)."""
+    if rule in allowed_rules(raw_lines[lineno]):
+        return True
+    if lineno > 0:
+        above = raw_lines[lineno - 1].strip()
+        if above.startswith("//") and rule in allowed_rules(above):
+            return True
+    return False
+
+
+# -- scope map ---------------------------------------------------------
+
+# Brace-scope kinds. "namespace" covers both the file's top level and
+# named/anonymous namespaces -- both are namespace scope in C++.
+# "class" covers class/struct/union/enum bodies; "function" covers
+# function bodies, lambdas, and control-flow blocks inside them;
+# "init" covers brace initializers.
+KIND_NAMESPACE = "namespace"
+KIND_CLASS = "class"
+KIND_FUNCTION = "function"
+KIND_INIT = "init"
+
+CLASS_HEAD_RE = re.compile(r"\b(?:class|struct|union|enum)\b[^;=()]*$")
+NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\b")
+
+
+def classify_head(head: str, parent: str) -> str:
+    """Classifies the brace that `head` (text since the last ; { })
+    opens."""
+    stripped = head.strip()
+    if NAMESPACE_HEAD_RE.search(stripped) and "(" not in stripped:
+        return KIND_NAMESPACE
+    if CLASS_HEAD_RE.search(stripped):
+        return KIND_CLASS
+    if parent in (KIND_FUNCTION,):
+        return KIND_FUNCTION  # control flow / nested block / lambda
+    if "=" in stripped and not stripped.rstrip().endswith(")"):
+        return KIND_INIT  # brace initializer `T x = {...}`
+    if ")" in stripped:
+        return KIND_FUNCTION  # `ret name(args) {`, `if (...) {`
+    if stripped == "" and parent == KIND_INIT:
+        return KIND_INIT
+    # `T x{...}` direct-init, `extern "C" {`, unknown -- treat brace
+    # initializers (no parens, parent not function) as init at class /
+    # namespace scope, which is the conservative choice for statics.
+    if parent in (KIND_NAMESPACE, KIND_CLASS) and stripped and "[" not in stripped:
+        return KIND_INIT
+    return parent
+
+
+class ScopeMap:
+    """Per-line scope kind + brace depth, from a single forward pass."""
+
+    def __init__(self, code_lines: list[str]):
+        self.kind_at: list[str] = []  # scope kind at the START of each line
+        self.depth_at: list[int] = []  # brace depth at the START of each line
+        stack: list[str] = []
+        head = ""
+        for code in code_lines:
+            self.kind_at.append(stack[-1] if stack else KIND_NAMESPACE)
+            self.depth_at.append(len(stack))
+            for ch in code:
+                if ch == "{":
+                    stack.append(classify_head(head, stack[-1] if stack else KIND_NAMESPACE))
+                    head = ""
+                elif ch == "}":
+                    if stack:
+                        stack.pop()
+                    head = ""
+                elif ch == ";":
+                    head = ""
+                else:
+                    head += ch
+            head += " "
+
+
+# -- symbol index ------------------------------------------------------
+
+
+class FileSummary(NamedTuple):
+    """What the cross-TU passes need to know about one file."""
+
+    guarded_fields: list[str]  # field names annotated GUARDED_BY(...)
+    runner_vars: list[str]  # variables declared with type (exp::)Runner
+
+
+def summarize_file(code_lines: list[str]) -> FileSummary:
+    guarded: list[str] = []
+    runner_vars: list[str] = []
+    for code in code_lines:
+        for m in GUARDED_BY_RE.finditer(code):
+            guarded.append(m.group(1))
+        # Skip the macro definition itself and ctor/call sites; a
+        # declaration line is `Runner name...` / `Runner& name...`.
+        for m in RUNNER_VAR_RE.finditer(code):
+            runner_vars.append(m.group(1))
+    return FileSummary(sorted(set(guarded)), sorted(set(runner_vars)))
+
+
+class SymbolIndex:
+    """Repo-wide facts the per-file passes check against. Built from
+    every file handed to the linter; optionally cached (keyed on
+    mtime+size) so a warm CI run skips re-summarizing unchanged
+    files."""
+
+    def __init__(self) -> None:
+        self.guarded_fields: set[str] = set()
+        self.runner_vars: set[str] = {"runner", "runner_"}  # house names
+        self.cache: dict[str, dict] = {}
+        self.cache_dirty = False
+
+    def load_cache(self, path: str) -> None:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                self.cache = json.load(fh)
+        except (OSError, ValueError):
+            self.cache = {}
+
+    def save_cache(self, path: str) -> None:
+        if not self.cache_dirty:
+            return
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(self.cache, fh)
+        except OSError as e:
+            print(f"spider_lint: cannot write index cache {path}: {e}",
+                  file=sys.stderr)
+
+    def add_file(self, path: str, code_lines: list[str] | None) -> None:
+        """Folds one file into the index. `code_lines` may be None when
+        the caller wants cache-only resolution (it is re-read on miss)."""
+        key = os.path.abspath(path)
+        try:
+            st = os.stat(path)
+            stamp = [st.st_mtime_ns, st.st_size]
+        except OSError:
+            stamp = [0, 0]
+        entry = self.cache.get(key)
+        if entry is not None and entry.get("stamp") == stamp:
+            summary = FileSummary(entry["guarded"], entry["runner_vars"])
+        else:
+            if code_lines is None:
+                try:
+                    with open(path, encoding="utf-8") as fh:
+                        text = fh.read()
+                except OSError:
+                    return
+                code_lines = [strip_comments_and_strings(l)
+                              for l in text.splitlines()]
+            summary = summarize_file(code_lines)
+            self.cache[key] = {
+                "stamp": stamp,
+                "guarded": summary.guarded_fields,
+                "runner_vars": summary.runner_vars,
+            }
+            self.cache_dirty = True
+        self.guarded_fields.update(summary.guarded_fields)
+        self.runner_vars.update(summary.runner_vars)
+
+
+# -- per-line linter (layer 1) ----------------------------------------
+
+
 class FileLinter:
     def __init__(self, path: str, text: str):
         self.path = path
@@ -210,21 +530,12 @@ class FileLinter:
             HOT_PATH_MARKER_RE.search(raw) for raw in self.raw_lines
         )
 
-    def is_allowed(self, lineno: int, rule: str) -> bool:
-        """True if line `lineno` (0-based) carries or inherits an
-        allow(<rule>) suppression (same line or the line above)."""
-        here = allowed_rules(self.raw_lines[lineno])
-        if rule in here:
-            return True
-        if lineno > 0:
-            above = self.raw_lines[lineno - 1].strip()
-            if above.startswith("//") and rule in allowed_rules(above):
-                return True
-        return False
-
     def report(self, lineno: int, rule: str, message: str) -> None:
-        if not self.is_allowed(lineno, rule):
-            self.findings.append(Finding(self.path, lineno + 1, rule, message))
+        if not is_allowed(self.raw_lines, lineno, rule):
+            self.findings.append(
+                Finding(self.path, lineno + 1, rule, message,
+                        SUGGESTIONS.get(rule, ""))
+            )
 
     def lint(self) -> list[Finding]:
         for i, code in enumerate(self.code_lines):
@@ -357,6 +668,413 @@ class FileLinter:
             )
 
 
+# -- multi-pass analyzer (layer 2) ------------------------------------
+
+
+def joined_paren_expr(code_lines: list[str], lineno: int, start_col: int,
+                      open_ch: str, max_lines: int = 6) -> str:
+    """Returns the text inside the paren/brace opening at
+    (lineno, start_col), joined across up to max_lines lines. Used for
+    constructor argument lists that wrap."""
+    close_ch = ")" if open_ch == "(" else "}"
+    depth = 0
+    out: list[str] = []
+    for li in range(lineno, min(lineno + max_lines, len(code_lines))):
+        text = code_lines[li]
+        start = start_col if li == lineno else 0
+        for ci in range(start, len(text)):
+            c = text[ci]
+            if c == open_ch:
+                depth += 1
+                if depth == 1:
+                    continue
+            elif c == close_ch:
+                depth -= 1
+                if depth == 0:
+                    return "".join(out)
+            if depth >= 1:
+                out.append(c)
+        out.append(" ")
+    return "".join(out)
+
+
+def find_matching_brace(code_lines: list[str], lineno: int,
+                        col: int) -> tuple[int, int]:
+    """Given the position of a `{`, returns (line, col) of its `}`;
+    falls back to end-of-file."""
+    depth = 0
+    for li in range(lineno, len(code_lines)):
+        text = code_lines[li]
+        start = col if li == lineno else 0
+        for ci in range(start, len(text)):
+            if text[ci] == "{":
+                depth += 1
+            elif text[ci] == "}":
+                depth -= 1
+                if depth == 0:
+                    return li, ci
+    return len(code_lines) - 1, 0
+
+
+# Local declarations inside a lambda body (approximate: a type-looking
+# token sequence followed by a name and a terminator).
+LOCAL_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[^;=]*>)?[&*\s]+"
+    r"([A-Za-z_]\w*)\s*[;{=(]"
+)
+STRUCTURED_BINDING_RE = re.compile(r"\bauto\s*&?&?\s*\[([^\]]+)\]")
+FOR_INIT_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>]+\s*&?&?\s+(\w+)\s*[=:]")
+# A mutation whose base object is `name`: assignment, compound
+# assignment, increment/decrement, or a mutating method call -- possibly
+# through a subscript and/or a dotted member chain (`x.field = v` and
+# `x[i].field = v` both mutate `x`). Group "sub" holds the first
+# subscript when the write goes through one (the sanctioned slot-write
+# shape). The lookbehinds keep the match anchored at the base: a name
+# preceded by `.` or `->` is a member, not the object being resolved.
+LAMBDA_WRITE_RE = re.compile(
+    r"(?:\+\+|--)\s*(?P<pre>[A-Za-z_]\w*)\b"
+    r"|(?<!\.)(?<!>)\b(?P<name>[A-Za-z_]\w*)\s*(?:\[(?P<sub>[^\]]*)\])?"
+    r"(?P<chain>(?:\s*(?:\.|->)\s*[A-Za-z_]\w*\s*(?:\[[^\]]*\])?)*)\s*"
+    r"(?:(?:\+\+|--)|(?:[+\-*/|&^]|<<|>>)?=(?!=)"
+    r"|(?:\.|->)\s*(?:push_back|emplace_back|emplace|insert|erase|clear"
+    r"|resize|assign|merge|store)\s*\()"
+)
+COMPARE_GUARD_RE = re.compile(r"[<>!=]=$|[<>]$")
+# Names a write match must never resolve to: keywords and builtin type
+# names that the regex can pick up in declarations (`const auto [a, b]
+# = ...` would otherwise "mutate" `auto`).
+WRITE_NAME_KEYWORDS = frozenset(
+    "auto const constexpr return if while for else switch case do new "
+    "delete sizeof static this int double bool char float long short "
+    "unsigned signed void true false".split()
+)
+
+
+class MultiPassAnalyzer:
+    """Index-backed passes over one file: mutable-global, rng-seed,
+    runner-capture, guarded-by."""
+
+    def __init__(self, path: str, text: str, index: SymbolIndex):
+        self.path = path
+        self.index = index
+        self.raw_lines = text.splitlines()
+        self.code_lines = [strip_comments_and_strings(l) for l in self.raw_lines]
+        self.scope = ScopeMap(self.code_lines)
+        self.findings: list[Finding] = []
+        norm = path.replace(os.sep, "/")
+        self.basename = os.path.basename(norm)
+
+    def report(self, lineno: int, rule: str, message: str,
+               suggestion: str = "") -> None:
+        if not is_allowed(self.raw_lines, lineno, rule):
+            self.findings.append(
+                Finding(self.path, lineno + 1, rule, message,
+                        suggestion or SUGGESTIONS.get(rule, ""))
+            )
+
+    def lint(self) -> list[Finding]:
+        self.pass_mutable_global()
+        self.pass_rng_seed()
+        self.pass_runner_capture()
+        self.pass_guarded_by()
+        return self.findings
+
+    # -- rule: mutable-global -----------------------------------------
+
+    def allowlisted_global(self, name: str) -> bool:
+        norm = self.path.replace(os.sep, "/")
+        return any(norm.endswith(suffix) and name == ident
+                   for suffix, ident, _why in MUTABLE_GLOBAL_ALLOWLIST)
+
+    def pass_mutable_global(self) -> None:
+        for i, code in enumerate(self.code_lines):
+            kind = self.scope.kind_at[i]
+            m = STATIC_DECL_RE.match(code)
+            if m and kind != KIND_INIT:
+                self.check_static_decl(i, code, m.group(1))
+            elif kind == KIND_NAMESPACE:
+                self.check_namespace_decl(i, code)
+
+    def check_static_decl(self, i: int, code: str, keyword: str) -> None:
+        stmt = code.strip()
+        if stmt.startswith("static_assert"):
+            return
+        if CONST_QUAL_RE.search(stmt):
+            return  # static const / constexpr / constinit: immutable
+        # `static T f(args);` / `static T f(args) {` is a function if
+        # the argument list is parameter-shaped; a variable constructed
+        # with arguments has expression-shaped arguments.
+        paren = stmt.find("(")
+        if paren != -1:
+            col = code.find("(", code.find(keyword))
+            args = joined_paren_expr(self.code_lines, i, col, "(")
+            if looks_like_params(args):
+                return  # function declaration/definition
+        name_m = re.search(r"([A-Za-z_]\w*)\s*(?:[;={(]|$)", stmt[len(keyword):].lstrip())
+        name = name_m.group(1) if name_m else "?"
+        if self.allowlisted_global(name):
+            return
+        self.report(
+            i,
+            "mutable-global",
+            f"{keyword} mutable state '{name}': shared across threads "
+            "and trials; the PDES contract forbids it outside the "
+            "allowlist",
+        )
+
+    def check_namespace_decl(self, i: int, code: str) -> None:
+        stmt = code.strip()
+        if not stmt or stmt.endswith(":"):
+            return
+        # A continuation line of a wrapped function signature closes
+        # parens it never opened (`double delta = 1.0);`) or ends on a
+        # parameter comma (`double delta = 1.0,`).
+        if stmt.count(")") > stmt.count("(") or stmt.endswith(","):
+            return
+        # Only definitions that terminate (or assign) on this line; a
+        # bare type name continuing a wrapped signature never matches.
+        decl = re.match(
+            r"^(?:inline\s+)?[A-Za-z_][\w:]*(?:\s*<[^;=()]*>)?[&*\s]+"
+            r"([A-Za-z_]\w*)\s*(=[^=]|;|\{)",
+            stmt,
+        )
+        if not decl:
+            return
+        if CONST_QUAL_RE.search(stmt):
+            return
+        head = stmt.split("=")[0]
+        if re.match(
+            r"^(?:using|typedef|class|struct|union|enum|namespace|template"
+            r"|extern|friend|concept|return|case|goto|public|private"
+            r"|protected)\b",
+            stmt,
+        ):
+            return
+        if "(" in head:
+            return  # function declaration / definition
+        name = decl.group(1)
+        if self.allowlisted_global(name):
+            return
+        self.report(
+            i,
+            "mutable-global",
+            f"namespace-scope mutable variable '{name}': global state "
+            "breaks trial isolation and the PDES shard contract",
+        )
+
+    # -- rule: rng-seed -----------------------------------------------
+
+    def pass_rng_seed(self) -> None:
+        for i, code in enumerate(self.code_lines):
+            for m in RNG_ENGINE_CTOR_RE.finditer(code):
+                kind = self.scope.kind_at[i]
+                if kind == KIND_CLASS and m.group(3) == ";":
+                    # Member declaration: the constructor that seeds it
+                    # is checked where it runs.
+                    continue
+                if m.group(3) == ";":
+                    self.report(
+                        i,
+                        "rng-seed",
+                        f"default-constructed std::{m.group(1)} "
+                        f"'{m.group(2)}': fixed default seed, identical "
+                        "across all trials; seed from derive_seed or a "
+                        "config",
+                    )
+                    continue
+                col = code.find(m.group(3), m.start())
+                args = joined_paren_expr(self.code_lines, i, col, m.group(3))
+                if m.group(3) == "(" and looks_like_params(args):
+                    # `std::mt19937 make_engine(int run);` declares a
+                    # function returning an engine, not an engine.
+                    continue
+                if not SEED_FLOW_RE.search(args):
+                    self.report(
+                        i,
+                        "rng-seed",
+                        f"std::{m.group(1)} '{m.group(2)}' seeded with "
+                        f"'{args.strip()[:40]}': the seed does not flow "
+                        "from derive_seed or a config seed",
+                    )
+
+    # -- rule: runner-capture -----------------------------------------
+
+    def pass_runner_capture(self) -> None:
+        for i, code in enumerate(self.code_lines):
+            for m in RUNNER_CALL_RE.finditer(code):
+                receiver = m.group(1)
+                if receiver not in self.index.runner_vars:
+                    continue
+                self.check_runner_lambda(i, m.end())
+
+    def check_runner_lambda(self, lineno: int, col: int) -> None:
+        # Find the lambda introducer `[` within the call's argument list
+        # (same or next few lines).
+        for li in range(lineno, min(lineno + 3, len(self.code_lines))):
+            text = self.code_lines[li]
+            start = col if li == lineno else 0
+            b = text.find("[", start)
+            if b == -1:
+                continue
+            self.analyze_lambda(li, b)
+            return
+
+    def analyze_lambda(self, lineno: int, col: int) -> None:
+        text = self.code_lines[lineno]
+        close = text.find("]", col)
+        if close == -1:
+            return
+        captures = text[col + 1:close]
+        by_ref_all = captures.strip() == "&"
+        ref_captures = set(re.findall(r"&\s*([A-Za-z_]\w*)", captures))
+        value_captures = set(
+            re.findall(r"(?<![&\w])([A-Za-z_]\w*)", captures)) - ref_captures
+        # Parameter list.
+        params: set[str] = set()
+        pstart = text.find("(", close)
+        if pstart != -1:
+            plist = joined_paren_expr(self.code_lines, lineno, pstart, "(")
+            for piece in plist.split(","):
+                pm = re.search(r"([A-Za-z_]\w*)\s*$", piece.strip())
+                if pm:
+                    params.add(pm.group(1))
+        # Body.
+        bstart_line, bstart_col = lineno, text.find("{", close)
+        if bstart_col == -1:
+            if lineno + 1 < len(self.code_lines):
+                bstart_line = lineno + 1
+                bstart_col = self.code_lines[bstart_line].find("{")
+            if bstart_col == -1:
+                return
+        bend_line, _ = find_matching_brace(self.code_lines, bstart_line,
+                                           bstart_col)
+        body = self.code_lines[bstart_line:bend_line + 1]
+        locals_: set[str] = set(params)
+        for line in body:
+            dm = LOCAL_DECL_RE.match(line)
+            if dm:
+                locals_.add(dm.group(1))
+            for sb in STRUCTURED_BINDING_RE.finditer(line):
+                for nm in sb.group(1).split(","):
+                    locals_.add(nm.strip().lstrip("&").strip())
+            for fm in FOR_INIT_RE.finditer(line):
+                locals_.add(fm.group(1))
+        for off, line in enumerate(body):
+            li = bstart_line + off
+            for w in LAMBDA_WRITE_RE.finditer(line):
+                name = w.group("pre") or w.group("name")
+                if name is None or name in WRITE_NAME_KEYWORDS:
+                    continue
+                if name in locals_ or name in value_captures:
+                    continue
+                if not (by_ref_all or name in ref_captures):
+                    continue
+                sub = w.group("sub")
+                if sub is not None and (set(IDENT_RE.findall(sub)) & params):
+                    continue  # the sanctioned slot write out[i] = ...
+                before = line[:w.start()].rstrip()
+                if COMPARE_GUARD_RE.search(before):
+                    continue
+                self.report(
+                    li,
+                    "runner-capture",
+                    f"lambda passed to Runner::map/for_each mutates "
+                    f"by-reference capture '{name}' without indexing by "
+                    "its chunk parameter: chunks race on it",
+                )
+
+    # -- rule: guarded-by ---------------------------------------------
+
+    def pass_guarded_by(self) -> None:
+        raii_locks: list[int] = []  # brace depths of active RAII locks
+        explicit_locks: dict[str, int] = {}  # name -> depth acquired at
+        depth = 0
+        for i, code in enumerate(self.code_lines):
+            depth = self.scope.depth_at[i]
+            # Expire locks whose enclosing block closed before this
+            # line: an RAII lock declared at depth d covers lines at
+            # depth >= d until the block's closing brace.
+            raii_locks = [d for d in raii_locks if depth >= d]
+            explicit_locks = {n: d for n, d in explicit_locks.items()
+                              if depth >= d}
+            if LOCK_RAII_RE.search(code):
+                raii_locks.append(depth)
+            for m in EXPLICIT_LOCK_RE.finditer(code):
+                explicit_locks[m.group(1)] = depth
+            in_lock = bool(raii_locks) or bool(explicit_locks)
+            if in_lock:
+                self.check_guarded_writes(i, code)
+            for m in EXPLICIT_UNLOCK_RE.finditer(code):
+                explicit_locks.pop(m.group(1), None)
+
+    def check_guarded_writes(self, i: int, code: str) -> None:
+        for m in MEMBER_WRITE_RE.finditer(code):
+            name = m.group(1) or m.group(2) or m.group(3)
+            if name is None:
+                continue
+            if name in self.index.guarded_fields:
+                continue
+            before = code[:m.start()].rstrip()
+            if COMPARE_GUARD_RE.search(before):
+                continue
+            self.report(
+                i,
+                "guarded-by",
+                f"field '{name}' assigned under a lock scope but not "
+                "declared GUARDED_BY(<mutex>); clang -Wthread-safety "
+                "cannot check it",
+                suggestion=f"declare `... {name} GUARDED_BY(<mutex>);` "
+                "at the field declaration "
+                "(core/thread_annotations.hpp)",
+            )
+
+
+# -- suppression audit -------------------------------------------------
+
+
+def audit_suppressions(paths: list[str]) -> int:
+    """Lists every `spider-lint: allow(...)` marker with its rationale.
+    A marker whose line (or marker comment) carries no prose beyond the
+    rule list is flagged as NO RATIONALE. Always exits 0."""
+    rows: list[tuple[str, int, str, str]] = []
+    for path in iter_cpp_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            continue
+        for i, raw in enumerate(lines):
+            m = ALLOW_RE.search(raw)
+            if not m:
+                continue
+            rules = m.group(1)
+            rationale = raw[m.end():].strip()
+            if not rationale:
+                # Marker-above style: rationale may precede the marker
+                # on the same comment line, or the marker suppresses the
+                # line below with the why inline before it.
+                head = raw[:m.start()].strip().lstrip("/").strip()
+                # Drop any code before the comment; prose only.
+                if "//" in raw[:m.start()]:
+                    rationale = head.split("//")[-1].strip()
+            rows.append((path, i + 1, rules, rationale))
+    bare = 0
+    for path, line, rules, rationale in rows:
+        tag = rationale if rationale else "NO RATIONALE"
+        if not rationale:
+            bare += 1
+        print(f"{path}:{line}: allow({rules}) -- {tag}")
+    print(
+        f"spider_lint: {len(rows)} suppression(s), {bare} without a "
+        "rationale",
+        file=sys.stderr,
+    )
+    return 0
+
+
+# -- driver ------------------------------------------------------------
+
+
 def iter_cpp_files(paths: list[str]) -> Iterator[str]:
     for p in paths:
         if os.path.isfile(p):
@@ -374,38 +1092,108 @@ def iter_cpp_files(paths: list[str]) -> Iterator[str]:
             sys.exit(2)
 
 
+def repo_root() -> str:
+    return os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+    )
+
+
+def write_json_report(path: str, findings: list[Finding],
+                      file_count: int) -> None:
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    doc = {
+        "tool": "spider_lint",
+        "files_scanned": file_count,
+        "finding_count": len(findings),
+        "findings_by_rule": dict(sorted(by_rule.items())),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "rule": f.rule,
+                "message": f.message,
+                "suggestion": f.suggestion,
+            }
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
-        prog="spider_lint", description="Spider determinism lint (see tools/lint/lint_rules.md)"
+        prog="spider_lint", description="Spider determinism & shared-state lint (see tools/lint/lint_rules.md)"
     )
     ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--all", action="store_true",
+                    help="lint the standard tree (src bench examples) with "
+                    "every pass")
     ap.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+    ap.add_argument("--json", metavar="FILE",
+                    help="also write a machine-readable findings report")
+    ap.add_argument("--fix-suggestions", action="store_true",
+                    help="print the exact annotation/suppression to add for "
+                    "each finding")
+    ap.add_argument("--audit-suppressions", action="store_true",
+                    help="list every `spider-lint: allow` marker with its "
+                    "rationale and exit 0")
+    ap.add_argument("--index-cache", metavar="FILE",
+                    help="cache the cross-TU symbol index here (keyed on "
+                    "mtime+size) to skip re-summarizing unchanged files")
     args = ap.parse_args(argv)
 
     if args.list_rules:
         for r in RULES:
             print(f"{r.name}: {r.summary}")
         return 0
-    if not args.paths:
+    paths = list(args.paths)
+    if args.all:
+        root = repo_root()
+        paths = [os.path.join(root, d) for d in DEFAULT_ROOTS] + paths
+    if not paths:
         ap.print_usage(sys.stderr)
         return 2
 
-    findings: list[Finding] = []
-    file_count = 0
-    for path in iter_cpp_files(args.paths):
-        file_count += 1
+    if args.audit_suppressions:
+        return audit_suppressions(paths)
+
+    # Pass 1: read every file once; build the cross-TU symbol index.
+    index = SymbolIndex()
+    if args.index_cache:
+        index.load_cache(args.index_cache)
+    files: list[tuple[str, str]] = []
+    for path in iter_cpp_files(paths):
         try:
             with open(path, encoding="utf-8") as fh:
                 text = fh.read()
         except OSError as e:
             print(f"spider_lint: cannot read {path}: {e}", file=sys.stderr)
             return 2
+        files.append((path, text))
+        index.add_file(path, [strip_comments_and_strings(l)
+                              for l in text.splitlines()])
+    if args.index_cache:
+        index.save_cache(args.index_cache)
+
+    # Pass 2: per-line rules + index-backed rules, file by file.
+    findings: list[Finding] = []
+    for path, text in files:
         findings.extend(FileLinter(path, text).lint())
+        findings.extend(MultiPassAnalyzer(path, text, index).lint())
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
     for f in findings:
         print(f)
+        if args.fix_suggestions and f.suggestion:
+            print(f"    fix: {f.suggestion}")
+    if args.json:
+        write_json_report(args.json, findings, len(files))
     status = "clean" if not findings else f"{len(findings)} finding(s)"
-    print(f"spider_lint: {file_count} file(s), {status}", file=sys.stderr)
+    print(f"spider_lint: {len(files)} file(s), {status}", file=sys.stderr)
     return 1 if findings else 0
 
 

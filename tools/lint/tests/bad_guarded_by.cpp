@@ -1,0 +1,26 @@
+// Golden bad snippet: fields assigned under lock scopes (RAII and
+// explicit lock()/unlock()) that are never declared GUARDED_BY. Three
+// writes fire [guarded-by]; the write after unlock() is outside the
+// lock scope and is this rule's job to ignore (TSan's to catch).
+#include <mutex>
+
+class Stats {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++count_;     // fires: count_ not GUARDED_BY
+    total_ += 1;  // fires: total_ not GUARDED_BY
+  }
+  void reset() {
+    mu_.lock();
+    count_ = 0;  // fires: explicit lock scope
+    mu_.unlock();
+    epoch_ = 0;  // clean: lock already released
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+  int total_ = 0;
+  int epoch_ = 0;
+};

@@ -1,0 +1,12 @@
+// Golden bad snippet: RNG engines whose seed does not flow from
+// derive_seed or a config seed. Three engine constructions fire
+// [rng-seed]; the distribution is exempt (engines carry the stream).
+#include <random>
+
+double sample() {
+  std::mt19937_64 a;          // fires: default-constructed engine
+  std::mt19937 b(12345);      // fires: bare literal seed
+  std::mt19937_64 c(42 + 1);  // fires: literal expression
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  return u(a) + u(b) + u(c);
+}

@@ -1,0 +1,29 @@
+// Golden bad snippet: lambdas handed to Runner::map / for_each that
+// mutate a by-reference capture without indexing by the chunk
+// parameter. Three writes fire [runner-capture]; the slot write
+// `out[i] = ...` stays clean.
+#include <cstddef>
+#include <vector>
+
+namespace exp {
+class Runner {
+ public:
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) const;
+};
+}  // namespace exp
+
+void sweep() {
+  exp::Runner runner;
+  std::vector<double> out(8);
+  double total = 0.0;
+  std::size_t done = 0;
+  runner.for_each(8, [&](std::size_t i) {
+    out[i] = static_cast<double>(i);  // slot write: clean
+    total += out[i];                  // fires: chunks race on total
+    ++done;                           // fires: chunks race on done
+  });
+  runner.for_each(8, [&total](std::size_t i) {
+    total = static_cast<double>(i);  // fires: explicit &-capture write
+  });
+}

@@ -1,0 +1,24 @@
+// Golden good snippet: every lock-scope write lands on a field the
+// symbol index knows is GUARDED_BY, and unlocked writes to unannotated
+// fields are out of scope. Must lint clean. GUARDED_BY comes from
+// core/thread_annotations.hpp in real code; the linter matches the
+// annotation textually, so the macro shape is what matters here.
+#include <mutex>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+class Stats {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++count_;
+    total_ += 1;
+  }
+  void set_epoch(int e) { epoch_ = e; }  // no lock held: rule silent
+
+ private:
+  std::mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+  int total_ GUARDED_BY(mu_) = 0;
+  int epoch_ = 0;
+};

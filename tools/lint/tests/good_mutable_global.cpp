@@ -1,0 +1,29 @@
+// Golden good snippet: immutable statics, function declarations whose
+// shapes look superficially like variables, and one documented
+// allowlist escape. Must lint clean.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+constexpr double kAlpha = 0.5;
+const char* const kName = "spider";
+static constexpr std::uint64_t kMask = 0xffull;
+inline constexpr int kTableSize = 64;
+
+// Wrapped signatures with defaulted parameters: the continuation lines
+// must never read as namespace-scope variables.
+std::vector<double> throughput(const std::vector<double>& caps,
+                               double delta = 1.0,
+                               std::size_t max_paths = 1000);
+
+// `static` + parameter-shaped argument list = function, not state.
+static std::size_t bucket_count(double min_value, double max_value);
+
+struct Config {
+  double end_time = 60.0;  // class member with default: not a global
+  static int parse(const std::string& text);  // static member function
+};
+
+// spider-lint: allow(mutable-global) append-only interning arena; see DESIGN.md §11
+static std::vector<std::string> g_interned;

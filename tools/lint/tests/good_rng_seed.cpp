@@ -1,0 +1,33 @@
+// Golden good snippet: every engine's seed flows from derive_seed or a
+// config seed; member engines are seeded by their constructor; engine
+// return types are functions, not constructions. Must lint clean.
+#include <cstdint>
+#include <random>
+
+struct TrialCfg {
+  std::uint64_t seed = 1;
+};
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+// Engine-typed function declaration: not an engine construction.
+std::mt19937 make_engine(int run_index);
+
+class Hasher {
+ public:
+  explicit Hasher(std::uint64_t seed) : rng_(seed) {}
+
+ private:
+  std::mt19937_64 rng_;  // member: the constructor seeds it
+};
+
+double sample(const TrialCfg& cfg, std::uint64_t trial) {
+  std::mt19937_64 rng(derive_seed(cfg.seed, trial));
+  std::mt19937_64 direct(cfg.seed);
+  std::mt19937 salted(0x9e3779b9ull ^ cfg.seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  return u(rng) + u(direct) + u(salted);
+}
+
+// spider-lint: allow(rng-seed) shape-only microbench stream, value never reported
+std::mt19937_64 fixed_stream() { return std::mt19937_64(99); }

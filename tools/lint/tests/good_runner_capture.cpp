@@ -1,0 +1,33 @@
+// Golden good snippet: chunk-pure Runner lambdas -- reads of shared
+// immutable state, lambda-local scratch, and writes only through the
+// chunk's own slot. Must lint clean.
+#include <cstddef>
+#include <vector>
+
+namespace exp {
+class Runner {
+ public:
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) const;
+};
+}  // namespace exp
+
+struct Trial {
+  double value = 0.0;
+};
+
+double run_trial(const Trial& t);
+
+void sweep(const exp::Runner& runner, const std::vector<Trial>& trials) {
+  std::vector<double> out(trials.size());
+  runner.for_each(trials.size(), [&](std::size_t i) {
+    double local = run_trial(trials[i]);  // lambda-local scratch
+    std::vector<double> scratch;
+    scratch.push_back(local);   // local container: clean
+    out[i] = local + scratch[0];  // slot write indexed by i: clean
+  });
+  // Mutation outside any Runner lambda is out of this rule's scope.
+  double serial = 0.0;
+  for (const Trial& t : trials) serial += t.value;
+  out[0] += serial;
+}

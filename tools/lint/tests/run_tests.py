@@ -13,6 +13,7 @@ Run directly or via ctest (registered as `lint_golden`):
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -64,9 +65,17 @@ def main() -> int:
     expect_fires("bad_ptr_key.cpp", ["ptr-key-order"])
     expect_fires("bad_fault_sampling.cpp", ["fault-sampling"])
     expect_fires("bad_hot_alloc.cpp", ["hot-loop-alloc"])
+    expect_fires("bad_mutable_global.cpp", ["mutable-global"])
+    expect_fires("bad_rng_seed.cpp", ["rng-seed"])
+    expect_fires("bad_runner_capture.cpp", ["runner-capture"])
+    expect_fires("bad_guarded_by.cpp", ["guarded-by"])
     expect_clean("good_allowlist.cpp")
     expect_clean("good_clean.cpp")
     expect_clean("good_hot_alloc_unmarked.cpp")
+    expect_clean("good_mutable_global.cpp")
+    expect_clean("good_rng_seed.cpp")
+    expect_clean("good_runner_capture.cpp")
+    expect_clean("good_guarded_by.cpp")
 
     # Per-line counts: bad_rand has four firing lines, bad_wall_clock three.
     code, out = run_lint(os.path.join(HERE, "bad_rand.cpp"))
@@ -80,6 +89,105 @@ def main() -> int:
     # construction stay clean.
     code, out = run_lint(os.path.join(HERE, "bad_hot_alloc.cpp"))
     check("bad_hot_alloc.cpp: 2 findings", out.count("[hot-loop-alloc]") == 2, out)
+
+    # Multi-pass rules: exact per-line counts on the golden pairs. The
+    # bad files also pin which kinds of line fire (namespace scope,
+    # static, thread_local, function-local static for mutable-global;
+    # slot writes staying clean for runner-capture; the after-unlock
+    # write staying clean for guarded-by).
+    code, out = run_lint(os.path.join(HERE, "bad_mutable_global.cpp"))
+    check("bad_mutable_global.cpp: 5 findings", out.count("[mutable-global]") == 5, out)
+    code, out = run_lint(os.path.join(HERE, "bad_rng_seed.cpp"))
+    check("bad_rng_seed.cpp: 3 findings", out.count("[rng-seed]") == 3, out)
+    code, out = run_lint(os.path.join(HERE, "bad_runner_capture.cpp"))
+    check("bad_runner_capture.cpp: 3 findings", out.count("[runner-capture]") == 3, out)
+    check("bad_runner_capture.cpp: slot write clean", ":22:" not in out, out)
+    code, out = run_lint(os.path.join(HERE, "bad_guarded_by.cpp"))
+    check("bad_guarded_by.cpp: 3 findings", out.count("[guarded-by]") == 3, out)
+    check("bad_guarded_by.cpp: post-unlock write clean", ":18:" not in out, out)
+
+    # The four new rules appear in the catalogue.
+    code, out = run_lint("--list-rules")
+    for rule in ("mutable-global", "rng-seed", "runner-capture", "guarded-by"):
+        check(f"--list-rules mentions {rule}", f"{rule}:" in out, out)
+
+    # --json: machine-readable report with per-rule counts.
+    with tempfile.TemporaryDirectory() as td:
+        report = os.path.join(td, "findings.json")
+        code, out = run_lint(os.path.join(HERE, "bad_guarded_by.cpp"), "--json", report)
+        try:
+            with open(report, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            ok = (
+                doc["finding_count"] == 3
+                and doc["findings_by_rule"] == {"guarded-by": 3}
+                and len(doc["findings"]) == 3
+                and all(f["suggestion"] for f in doc["findings"])
+            )
+        except (OSError, KeyError, ValueError) as e:
+            ok, doc = False, str(e)
+        check("--json report structure", ok, str(doc))
+
+    # --fix-suggestions: each finding gets a concrete fix line.
+    code, out = run_lint(os.path.join(HERE, "bad_guarded_by.cpp"), "--fix-suggestions")
+    check("--fix-suggestions prints fixes",
+          out.count("fix:") == 3 and "GUARDED_BY" in out, out)
+
+    # --audit-suppressions: lists markers with rationales, flags bare
+    # ones, and always exits 0 even though markers exist.
+    with tempfile.TemporaryDirectory() as td:
+        audited = os.path.join(td, "audited.cpp")
+        with open(audited, "w", encoding="utf-8") as fh:
+            fh.write(
+                "#include <cstdlib>\n"
+                "int f() {\n"
+                "  int a = rand();  // spider-lint: allow(nondet-random) documented why\n"
+                "  int b = rand();  // spider-lint: allow(nondet-random)\n"
+                "  return a + b;\n"
+                "}\n"
+            )
+        code, out = run_lint("--audit-suppressions", audited)
+        check(
+            "--audit-suppressions inventory",
+            code == 0
+            and "documented why" in out
+            and out.count("NO RATIONALE") == 1
+            and "2 suppression(s), 1 without a rationale" in out,
+            out,
+        )
+
+    # --index-cache: a warm second run reuses the cached symbol index
+    # (the cache file must exist, be valid JSON, and the two runs must
+    # produce identical findings).
+    with tempfile.TemporaryDirectory() as td:
+        cache = os.path.join(td, "index.json")
+        target = os.path.join(HERE, "bad_guarded_by.cpp")
+        code1, out1 = run_lint(target, "--index-cache", cache)
+        try:
+            with open(cache, encoding="utf-8") as fh:
+                cached = json.load(fh)
+            ok = any("count_" not in e.get("guarded", []) for e in cached.values())
+        except (OSError, ValueError) as e:
+            ok, cached = False, str(e)
+        code2, out2 = run_lint(target, "--index-cache", cache)
+        check(
+            "--index-cache warm run identical",
+            ok and code1 == code2 == 1 and out1 == out2,
+            out2,
+        )
+        good = os.path.join(HERE, "good_guarded_by.cpp")
+        code3, _ = run_lint(good, "--index-cache", cache)
+        check("--index-cache across file sets", code3 == 0, "")
+
+    # Self-lint: the linter and this harness must at least be valid
+    # Python (CI runs them under whatever python3 the image ships).
+    proc = subprocess.run(
+        [sys.executable, "-m", "py_compile", LINT, os.path.abspath(__file__)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    check("tools/lint self-compiles", proc.returncode == 0, proc.stderr)
 
     # The seeded generator is the sanctioned home for fault randomness:
     # the same engine+fault-type combination must NOT fire under
