@@ -1,0 +1,235 @@
+// PDES shard-count benchmark on the paper's full Ripple topology
+// (3774 nodes): the same packet trial runs on the classic serial engine
+// (shards=0) and on the sharded engine at K in {1, 2, 4, 8}, with the
+// epoch barriers driven by an exp::Runner pool. Two variants run --
+// the default widest-path router and spider-cc -- so both the plain
+// hop/ack event mix and the timeout/backlog-heavy one are covered.
+//
+// Byte-identity is asserted IN the binary: every sharded run's full
+// sim::Metrics must equal the serial run's (operator==), and the event
+// counts must match exactly; any divergence is a hard exit(1), so a
+// green bench IS a determinism proof at this scale. Throughput is
+// reported per shard count with the host's core count alongside --
+// speedups are only meaningful when cores >= shards, and the committed
+// baseline records whatever the baseline host honestly measured.
+//
+// Writes BENCH_pdes.json (schema in EXPERIMENTS.md). CI re-runs the
+// bench and compares: deterministic fields (event counts, metrics,
+// the identity flag) must match the committed baseline exactly; the
+// serial-run throughput gates with the usual generous threshold.
+//
+//   ./build/bench/bench_pdes [--smoke] [--threads N] [--json PATH]
+//
+// --smoke shrinks to ripple-400 for sanitizer jobs; SPIDER_FULL=1
+// scales the trial up (see EXPERIMENTS.md).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "sim/packet_sim.hpp"
+
+namespace {
+
+using namespace spider;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kShardCounts[] = {0, 1, 2, 4, 8};
+
+struct PdesArgs {
+  bool smoke = false;
+  std::size_t threads = 0;
+  std::string json_out;
+};
+
+PdesArgs parse_args(int argc, char** argv) {
+  PdesArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--threads N] [--json PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct TrialShape {
+  std::string topology;
+  std::size_t txns = 0;
+  double end_time = 40.0;
+  double capacity_units = 1500.0;
+};
+
+struct RunResult {
+  std::uint32_t shards = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  sim::Metrics metrics;
+};
+
+RunResult run_once(const graph::Graph& g, const workload::Trace& trace,
+                   const TrialShape& shape, bool spider_cc,
+                   std::uint32_t shards, const exp::Runner& runner) {
+  sim::PacketSimConfig cfg;
+  cfg.end_time = shape.end_time;
+  cfg.seed = 7;
+  cfg.shards = shards;
+  if (shards > 0) {
+    cfg.shard_parallel_for = [&runner](
+                                 std::size_t n,
+                                 const std::function<void(std::size_t)>& fn) {
+      runner.for_each(n, fn);
+    };
+  }
+  if (spider_cc) {
+    cfg.cc_mode = sim::CongestionControlMode::kSpiderCc;
+    cfg.cc_initial_window = 32.0;
+    cfg.cc_max_window = 512.0;
+    cfg.cc_alpha = 4.0;
+  }
+  sim::PacketSimulator psim(
+      g,
+      std::vector<core::Amount>(g.edge_count(),
+                                core::from_units(shape.capacity_units)),
+      cfg);
+  for (const workload::Transaction& tx : trace) {
+    core::PaymentRequest req;
+    req.src = tx.src;
+    req.dst = tx.dst;
+    req.amount = tx.amount;
+    req.arrival = tx.arrival;
+    if (spider_cc) req.deadline = tx.arrival + 20.0;
+    psim.submit(req);
+  }
+  RunResult r;
+  r.shards = shards;
+  const auto t0 = Clock::now();
+  r.metrics = psim.run();
+  r.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  r.events = psim.events_processed();
+  return r;
+}
+
+exp::Json run_variant(const char* name, const graph::Graph& g,
+                      const workload::Trace& trace, const TrialShape& shape,
+                      bool spider_cc, const exp::Runner& runner) {
+  std::printf("\n--- %s on %s (%zu txns) ---\n", name, shape.topology.c_str(),
+              trace.size());
+  std::vector<RunResult> runs;
+  for (const std::uint32_t k : kShardCounts) {
+    runs.push_back(run_once(g, trace, shape, spider_cc, k, runner));
+    const RunResult& r = runs.back();
+    const RunResult& serial = runs.front();
+    const double eps = static_cast<double>(r.events) / r.wall_seconds;
+    const double speedup = r.wall_seconds > 0.0
+                               ? serial.wall_seconds / r.wall_seconds
+                               : 0.0;
+    std::printf("shards=%u: %llu events in %.3f s = %.0f events/sec"
+                " (%.2fx vs serial)\n",
+                r.shards, static_cast<unsigned long long>(r.events),
+                r.wall_seconds, eps, speedup);
+    // The determinism proof: same events, byte-identical metrics.
+    if (r.events != serial.events || !(r.metrics == serial.metrics)) {
+      std::fprintf(stderr,
+                   "FATAL: shards=%u diverged from the serial engine "
+                   "(events %llu vs %llu)\n",
+                   r.shards, static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(serial.events));
+      std::exit(1);
+    }
+  }
+  std::printf("identity: all shard counts byte-identical to serial "
+              "(success_ratio %.4f)\n",
+              runs.front().metrics.success_ratio());
+
+  exp::Json j = exp::Json::object();
+  j.set("variant", name);
+  exp::Json jr = exp::Json::array();
+  for (const RunResult& r : runs) {
+    exp::Json one = exp::Json::object();
+    one.set("shards", static_cast<std::uint64_t>(r.shards));
+    one.set("events", r.events);
+    one.set("wall_seconds", r.wall_seconds);
+    one.set("events_per_sec",
+            static_cast<double>(r.events) / r.wall_seconds);
+    one.set("speedup_vs_serial",
+            r.wall_seconds > 0.0 ? runs.front().wall_seconds / r.wall_seconds
+                                 : 0.0);
+    jr.push_back(std::move(one));
+  }
+  j.set("runs", std::move(jr));
+  j.set("identity", true);
+  j.set("metrics", exp::report::metrics_to_json(runs.front().metrics));
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const PdesArgs args = parse_args(argc, argv);
+  const bool full = bench::full_scale();
+  bench::print_header("bench_pdes",
+                      "sharded PDES engine: shard-count identity + "
+                      "throughput on full Ripple");
+
+  TrialShape shape;
+  if (args.smoke) {
+    shape.topology = "ripple-400";
+    shape.txns = 600;
+    shape.end_time = 25.0;
+  } else {
+    shape.topology = "ripple-3774";
+    shape.txns = full ? 20000 : 4000;
+    shape.end_time = 40.0;
+  }
+
+  const std::size_t host_cores = std::thread::hardware_concurrency();
+  const std::size_t threads = args.threads == 0 ? 4 : args.threads;
+  const exp::Runner runner(threads);
+  std::printf("host cores: %zu, barrier pool threads: %zu\n"
+              "(speedups are meaningful only when cores >= shards; the "
+              "identity assert holds regardless)\n",
+              host_cores, threads);
+
+  const graph::Graph g = exp::make_named_topology(shape.topology);
+  const workload::Trace trace = workload::generate_trace(
+      g, workload::ripple_workload(shape.txns, shape.end_time,
+                                   exp::derive_seed(44, 0)));
+
+  exp::Json j = exp::Json::object();
+  j.set("bench", "pdes");
+  j.set("schema_version", 1);
+  j.set("scale", args.smoke ? "smoke" : (full ? "full" : "reduced"));
+  j.set("topology", shape.topology);
+  j.set("txns", static_cast<std::uint64_t>(shape.txns));
+  j.set("end_time", shape.end_time);
+  j.set("host_cores", static_cast<std::uint64_t>(host_cores));
+  j.set("threads", static_cast<std::uint64_t>(threads));
+  exp::Json variants = exp::Json::array();
+  variants.push_back(
+      run_variant("packet-widest", g, trace, shape, false, runner));
+  variants.push_back(
+      run_variant("spider-cc", g, trace, shape, true, runner));
+  j.set("variants", std::move(variants));
+
+  const std::string out =
+      args.json_out.empty() ? "BENCH_pdes.json" : args.json_out;
+  exp::write_file(out, j.dump(2) + "\n");
+  std::printf("\nwrote report: %s\n", out.c_str());
+  return 0;
+}

@@ -10,19 +10,9 @@ namespace {
 constexpr std::size_t kArity = 4;  // 4-ary heap: children of i at 4i+1..4i+4
 }
 
-void EventQueue::push_event(TimePoint t, EventKind kind, std::uint64_t a,
-                            std::uint64_t b) {
-  push_raw(t, (next_seq_++ << 8) | static_cast<std::uint64_t>(kind), a, b);
-}
-
-void EventQueue::push_raw(TimePoint t, std::uint64_t meta, std::uint64_t a,
-                          std::uint64_t b) {
-  if (t < now_) {
-    throw std::invalid_argument("EventQueue::schedule: time in the past");
-  }
+void EventHeap::push(const SimEvent& ev) {
   // Sift up.
   std::size_t i = heap_.size();
-  const Event ev{t, meta, a, b};
   heap_.push_back(ev);
   while (i > 0) {
     const std::size_t parent = (i - 1) / kArity;
@@ -33,19 +23,17 @@ void EventQueue::push_raw(TimePoint t, std::uint64_t meta, std::uint64_t a,
   heap_[i] = ev;
 }
 
-void EventQueue::schedule_typed_reserved(TimePoint t, EventKind kind,
-                                         std::uint64_t seq, std::uint64_t a,
-                                         std::uint64_t b) {
-  if (kind == EventKind::kCallback) {
-    throw std::invalid_argument(
-        "EventQueue::schedule_typed_reserved: kCallback is internal");
-  }
-  push_raw(t, (seq << 8) | static_cast<std::uint64_t>(kind), a, b);
+SimEvent EventHeap::pop() {
+  const SimEvent ev = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return ev;
 }
 
-void EventQueue::sift_down(std::size_t i) {
+void EventHeap::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
-  const Event ev = heap_[i];
+  const SimEvent ev = heap_[i];
   for (;;) {
     const std::size_t first = i * kArity + 1;
     if (first >= n) break;
@@ -59,6 +47,29 @@ void EventQueue::sift_down(std::size_t i) {
     i = best;
   }
   heap_[i] = ev;
+}
+
+void EventQueue::push_event(TimePoint t, EventKind kind, std::uint64_t a,
+                            std::uint64_t b) {
+  push_raw(t, (next_seq_++ << 8) | static_cast<std::uint64_t>(kind), a, b);
+}
+
+void EventQueue::push_raw(TimePoint t, std::uint64_t meta, std::uint64_t a,
+                          std::uint64_t b) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  heap_.push(SimEvent{t, meta, a, b});
+}
+
+void EventQueue::schedule_typed_reserved(TimePoint t, EventKind kind,
+                                         std::uint64_t seq, std::uint64_t a,
+                                         std::uint64_t b) {
+  if (kind == EventKind::kCallback) {
+    throw std::invalid_argument(
+        "EventQueue::schedule_typed_reserved: kCallback is internal");
+  }
+  push_raw(t, (seq << 8) | static_cast<std::uint64_t>(kind), a, b);
 }
 
 void EventQueue::schedule_typed(TimePoint t, EventKind kind, std::uint64_t a,
@@ -91,10 +102,7 @@ void EventQueue::schedule(TimePoint t, Handler fn) {
 
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
-  const Event ev = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  const SimEvent ev = heap_.pop();
   now_ = ev.time;
   ++processed_;
   if (ev.kind() == EventKind::kCallback) {
@@ -115,7 +123,7 @@ bool EventQueue::run_next() {
 }
 
 void EventQueue::run_until(TimePoint t_end) {
-  while (!heap_.empty() && heap_.front().time <= t_end) {
+  while (!heap_.empty() && heap_.top()->time <= t_end) {
     run_next();
   }
   if (now_ < t_end) now_ = t_end;

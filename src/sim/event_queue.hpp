@@ -42,6 +42,54 @@ enum class EventKind : std::uint8_t {
   kCallback,      // internal: run a slab-stored std::function
 };
 
+/// POD heap entry, 32 bytes: the sequence number and kind share one
+/// word (seq in the high 56 bits, so ordering by `meta` IS ordering by
+/// insertion sequence). Payload is inline; callback events indirect via
+/// slot `a`. Shared by the serial EventQueue and the sharded PDES
+/// engine (sim/shard.hpp) so both order events identically.
+struct SimEvent {
+  TimePoint time;
+  std::uint64_t meta;  // (seq << 8) | kind
+  std::uint64_t a;
+  std::uint64_t b;
+
+  [[nodiscard]] EventKind kind() const {
+    return static_cast<EventKind>(meta & 0xff);
+  }
+  [[nodiscard]] std::uint64_t seq() const { return meta >> 8; }
+  /// Strict total order (time, seq): earlier fires first.
+  [[nodiscard]] bool before(const SimEvent& o) const {
+    if (time != o.time) return time < o.time;
+    return meta < o.meta;
+  }
+};
+
+/// 4-ary min-heap on SimEvent::before. The d-ary layout halves the pop
+/// depth vs a binary heap and keeps siblings in one cache line; pop
+/// order is the comparator's total order regardless of layout, so
+/// determinism is untouched. Extracted from EventQueue so the sharded
+/// engine's per-shard heaps and hot lane reuse the exact same ordering
+/// machinery.
+class EventHeap {
+ public:
+  void push(const SimEvent& ev);
+  /// Removes and returns the minimum; undefined on an empty heap.
+  SimEvent pop();
+  [[nodiscard]] const SimEvent* top() const {
+    return heap_.empty() ? nullptr : heap_.data();
+  }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  /// Underlying array in heap layout (deterministic given a
+  /// deterministic push/pop sequence); used by checksums and recounts.
+  [[nodiscard]] const std::vector<SimEvent>& entries() const { return heap_; }
+
+ private:
+  void sift_down(std::size_t i);
+
+  std::vector<SimEvent> heap_;
+};
+
 class EventQueue {
  public:
   using Handler = std::function<void()>;
@@ -121,40 +169,15 @@ class EventQueue {
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
  private:
-  /// POD heap entry, 32 bytes: the sequence number and kind share one
-  /// word (seq in the high 56 bits, so ordering by `meta` IS ordering
-  /// by insertion sequence). Payload is inline, callbacks indirect via
-  /// slot `a`.
-  struct Event {
-    TimePoint time;
-    std::uint64_t meta;  // (seq << 8) | kind
-    std::uint64_t a;
-    std::uint64_t b;
-
-    [[nodiscard]] EventKind kind() const {
-      return static_cast<EventKind>(meta & 0xff);
-    }
-    /// Strict total order (time, seq): earlier fires first.
-    [[nodiscard]] bool before(const Event& o) const {
-      if (time != o.time) return time < o.time;
-      return meta < o.meta;
-    }
-  };
-
   void push_event(TimePoint t, EventKind kind, std::uint64_t a,
                   std::uint64_t b);
   void push_raw(TimePoint t, std::uint64_t meta, std::uint64_t a,
                 std::uint64_t b);
-  void sift_down(std::size_t i);
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  /// 4-ary min-heap on Event::before. The d-ary layout halves the pop
-  /// depth vs a binary heap and keeps siblings in one cache line; pop
-  /// order is the comparator's total order regardless of layout, so
-  /// determinism is untouched.
-  std::vector<Event> heap_;
+  EventHeap heap_;
 
   // Callback slab: heap entries reference handlers_[a]; freed slots are
   // recycled through free_handlers_.

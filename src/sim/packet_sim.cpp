@@ -1,4 +1,5 @@
 #include "sim/packet_sim.hpp"
+// spider-lint: shard-state-file
 
 #include <algorithm>
 #include <sstream>
@@ -9,6 +10,19 @@
 #include "sim/audit.hpp"
 
 namespace spider::sim {
+
+namespace {
+/// Shard anchor of a fault event: the target node for node-scoped
+/// faults, the lower endpoint for channel closures, node 0 for the
+/// global probe-staleness spike (its target must be 0 by plan
+/// contract). Purely a routing decision -- any deterministic choice
+/// preserves byte-identity.
+core::NodeId fault_anchor(const graph::Graph& g, faults::FaultKind kind,
+                          std::uint32_t target) {
+  if (kind == faults::FaultKind::kChannelClose) return g.edge_u(target);
+  return target < g.node_count() ? target : 0;
+}
+}  // namespace
 
 PacketSimulator::PacketSimulator(const graph::Graph& g,
                                  std::vector<core::Amount> edge_capacity,
@@ -53,10 +67,24 @@ PacketSimulator::PacketSimulator(const graph::Graph& g,
     mc.threshold = cfg_.cc_mark_threshold;
     mc.unmark_fraction = cfg_.cc_mark_unmark_fraction;
     mc.ewma_gain = cfg_.cc_mark_ewma_gain;
-    for (core::Router& r : routers_) r.configure_marking(mc);
+    for (core::NodeId v = 0; v < g.node_count(); ++v) {
+      owned_router(v).configure_marking(mc);
+    }
   }
   pair_rows_.resize(g.node_count());
-  events_.set_dispatcher(&PacketSimulator::dispatch, this);
+  if (cfg_.shards > 0) {
+    // Epoch length = the minimum cross-shard event delay (one hop):
+    // everything a hop/ack schedules lands at least one epoch ahead, so
+    // mailbox traffic always commits before its fire epoch; the rare
+    // shorter schedule (chained arrivals, sub-epoch fault ends) takes
+    // the engine's hot lane.
+    pdes_ = std::make_unique<ShardedEngine>(
+        ShardPlan(static_cast<std::uint32_t>(g.node_count()), cfg_.shards),
+        cfg_.hop_delay, cfg_.shard_parallel_for);
+    pdes_->set_dispatcher(&PacketSimulator::dispatch, this);
+  } else {
+    events_.set_dispatcher(&PacketSimulator::dispatch, this);
+  }
 }
 
 void PacketSimulator::dispatch(void* ctx, EventKind kind, std::uint64_t a,
@@ -70,8 +98,8 @@ void PacketSimulator::dispatch(void* ctx, EventKind kind, std::uint64_t a,
       ++self->next_arrival_;
       if (self->next_arrival_ < self->arrivals_.size()) {
         const PendingArrival& next = self->arrivals_[self->next_arrival_];
-        self->events_.schedule_typed_reserved(next.time, EventKind::kArrival,
-                                              next.seq, next.pid);
+        self->sched_reserved(self->requests_[next.pid].src, next.time,
+                             EventKind::kArrival, next.seq, next.pid);
       }
       self->arrive(static_cast<core::PaymentId>(a));
       break;
@@ -249,7 +277,7 @@ void PacketSimulator::cc_unit_left(core::NodeId src, core::NodeId dst,
     const core::TxUnit u = cc.backlog[cc.next++];
     // Skip units whose deadline already passed; the transport will mark
     // the payment partial/failed at status time.
-    if (u.deadline < events_.now()) {
+    if (u.deadline < now()) {
       transports_[u.src]->abandon_unit(u.id);
       continue;
     }
@@ -361,7 +389,7 @@ void PacketSimulator::spider_unit_left(core::NodeId src, core::NodeId dst,
   ps.draining = true;
   while (ps.next < ps.backlog.size()) {
     const core::TxUnit u = ps.backlog[ps.next];
-    if (u.deadline < events_.now()) {
+    if (u.deadline < now()) {
       ++ps.next;
       transports_[u.src]->abandon_unit(u.id);
       continue;
@@ -425,8 +453,7 @@ void PacketSimulator::start_unit(const core::TxUnit& unit,
     // Per-launch HTLC expiry: only the launched copy gets the tightened
     // deadline -- a retried unit re-enters the backlog with the
     // payment's own deadline and is re-tightened on its next launch.
-    st.unit.deadline =
-        std::min(unit.deadline, events_.now() + cfg_.cc_unit_timeout);
+    st.unit.deadline = std::min(unit.deadline, now() + cfg_.cc_unit_timeout);
   }
   st.path = path;
   st.hop = 0;
@@ -451,7 +478,7 @@ void PacketSimulator::advance(core::SlabHandle h, TimePoint queue_delay) {
     fail_unit(st->unit.id);
     return;
   }
-  auto htlc = net_.channel(graph::edge_of(arc))
+  auto htlc = owned_channel(graph::edge_of(arc))
                   .offer_htlc(core::ChannelNetwork::arc_side(arc),
                               st->unit.amount, st->unit.lock);
   if (!htlc) {
@@ -461,9 +488,9 @@ void PacketSimulator::advance(core::SlabHandle h, TimePoint queue_delay) {
     qu.amount = st->unit.amount;
     qu.remaining_payment =
         transports_[st->unit.src]->remaining(st->unit.id.payment);
-    qu.enqueued = events_.now();
+    qu.enqueued = now();
     qu.deadline = st->unit.deadline;
-    routers_[graph_.tail(arc)].push_local(arc_local_[arc], qu);
+    owned_router(graph_.tail(arc)).push_local(arc_local_[arc], qu);
     ++total_queued_units_;
     total_queued_amount_ += qu.amount;
     return;
@@ -475,11 +502,13 @@ void PacketSimulator::advance(core::SlabHandle h, TimePoint queue_delay) {
     // unit's wait (0 on pass-through) and stamps the resulting one-bit
     // mark onto the unit; once marked, always marked (§5 of the NSDI
     // design: any congested hop suffices).
-    st->marked |= routers_[graph_.tail(arc)].observe_delay_local(
-        arc_local_[arc], queue_delay);
+    st->marked |= owned_router(graph_.tail(arc))
+                      .observe_delay_local(arc_local_[arc], queue_delay);
   }
-  events_.schedule_typed_in(cfg_.hop_delay, EventKind::kHopAdvance,
-                            h.packed());
+  // The unit lands at the arc's head one hop delay from now -- that
+  // router's shard owns the event.
+  sched_in(graph_.head(arc), cfg_.hop_delay, EventKind::kHopAdvance,
+           h.packed());
 }
 
 void PacketSimulator::reach_next_hop(core::SlabHandle h) {
@@ -500,16 +529,15 @@ void PacketSimulator::unit_reached_destination(core::SlabHandle h) {
   const TimePoint ack_delay =
       cfg_.hop_delay * static_cast<double>(st.path->arcs.size());
   TimePoint withheld = 0;
-  if (faults_ != nullptr &&
-      faults_->withholding(st.unit.dst, events_.now())) {
+  if (faults_ != nullptr && faults_->withholding(st.unit.dst, now())) {
     // The receiver withholds its confirmation until the spell ends;
     // every hop's hold stays pending meanwhile (the griefing the
     // paper's Δ-bounded holds exist to bound).
-    withheld = faults_->withhold_until(st.unit.dst) - events_.now();
+    withheld = faults_->withhold_until(st.unit.dst) - now();
     ++metrics_.fault_withheld_acks;
   }
-  events_.schedule_typed_in(ack_delay + withheld, EventKind::kAck,
-                            h.packed());
+  // The ack fires at the sender -- its shard owns the event.
+  sched_in(st.unit.src, ack_delay + withheld, EventKind::kAck, h.packed());
 }
 
 void PacketSimulator::ack_unit(core::SlabHandle h) {
@@ -520,7 +548,7 @@ void PacketSimulator::ack_unit(core::SlabHandle h) {
   // withholds them; the unit's locks fail via the expiry sweep) and
   // for atomic payments still missing shares.
   const auto releases = transports_[st->unit.src]->confirm_unit(
-      st->unit.id, events_.now(), st->marked);
+      st->unit.id, now(), st->marked);
   for (const core::KeyRelease& kr : releases) {
     settle_unit(kr.unit, kr.key);
   }
@@ -534,7 +562,7 @@ void PacketSimulator::settle_unit(core::TxUnitId uid, core::Preimage key) {
   // service the queues that were waiting for them.
   for (std::size_t i = 0; i < st->htlcs.size(); ++i) {
     const graph::ArcId arc = st->path->arcs[i];
-    if (!net_.channel(graph::edge_of(arc)).settle_htlc(st->htlcs[i], key)) {
+    if (!owned_channel(graph::edge_of(arc)).settle_htlc(st->htlcs[i], key)) {
       throw std::logic_error("packet_sim: settle failed (bad key?)");
     }
   }
@@ -545,9 +573,8 @@ void PacketSimulator::settle_unit(core::TxUnitId uid, core::Preimage key) {
   const core::NodeId dst = st->unit.dst;
   const core::PaymentId pid = uid.payment;
   if (transports_[src]->remaining(pid) == 0) {
-    metrics_.sum_completion_latency +=
-        events_.now() - requests_[pid].arrival;
-    metrics_.latency_hist.add(events_.now() - requests_[pid].arrival);
+    metrics_.sum_completion_latency += now() - requests_[pid].arrival;
+    metrics_.latency_hist.add(now() - requests_[pid].arrival);
   }
   // The path outlives the unit (owned by PairState); grab it before the
   // slot is released -- servicing below may recycle the slot.
@@ -567,7 +594,7 @@ void PacketSimulator::fail_unit(core::TxUnitId uid, bool retryable) {
   if (st == nullptr) return;
   for (std::size_t i = 0; i < st->htlcs.size(); ++i) {
     const graph::ArcId arc = st->path->arcs[i];
-    net_.channel(graph::edge_of(arc)).fail_htlc(st->htlcs[i]);
+    owned_channel(graph::edge_of(arc)).fail_htlc(st->htlcs[i]);
   }
   held_amount_ -=
       st->unit.amount * static_cast<core::Amount>(st->htlcs.size());
@@ -579,7 +606,7 @@ void PacketSimulator::fail_unit(core::TxUnitId uid, bool retryable) {
   bool retry = retryable && cfg_.cc_mode == CongestionControlMode::kSpiderCc;
   if (retry) {
     retry_unit.deadline = requests_[uid.payment].deadline;
-    retry = retry_unit.deadline >= events_.now();
+    retry = retry_unit.deadline >= now();
   }
   if (!retry) transports_[st->unit.src]->abandon_unit(uid);
   const core::NodeId src = st->unit.src;
@@ -601,7 +628,7 @@ void PacketSimulator::fail_unit(core::TxUnitId uid, bool retryable) {
 
 void PacketSimulator::service_arc(graph::ArcId a) {
   if (faults_ != nullptr && faults_->node_down(graph_.tail(a))) return;
-  core::Router& router = routers_[graph_.tail(a)];
+  core::Router& router = owned_router(graph_.tail(a));
   const std::size_t i = arc_local_[a];
   while (const core::QueuedUnit* top = router.peek_local(i)) {
     const core::Amount avail = net_.available(a);
@@ -609,7 +636,7 @@ void PacketSimulator::service_arc(graph::ArcId a) {
     const core::QueuedUnit qu = *router.pop_local(i);
     --total_queued_units_;
     total_queued_amount_ -= qu.amount;
-    advance(handle_of(qu.unit), events_.now() - qu.enqueued);
+    advance(handle_of(qu.unit), now() - qu.enqueued);
   }
 }
 
@@ -618,29 +645,31 @@ void PacketSimulator::sweep_expired() {
     // Node-id order matters: failing a unit can push newly queued units
     // into routers later in the scan, which this same sweep must see --
     // exactly as a full walk over all routers would.
-    for (core::Router& r : routers_) {
+    for (core::NodeId v = 0; v < graph_.node_count(); ++v) {
+      core::Router& r = owned_router(v);
       if (r.queued_units() == 0) continue;  // O(1) skip
-      for (const core::QueuedUnit& qu : r.drop_expired(events_.now())) {
+      for (const core::QueuedUnit& qu : r.drop_expired(now())) {
         --total_queued_units_;
         total_queued_amount_ -= qu.amount;
         fail_unit(qu.unit, /*retryable=*/true);
       }
     }
   }
-  if (events_.now() + cfg_.expiry_sweep_interval <= cfg_.end_time) {
-    events_.schedule_typed_in(cfg_.expiry_sweep_interval,
-                              EventKind::kExpirySweep);
+  // The sweep is a single global event (anchored at node 0): splitting
+  // it per shard would shift sequence numbers and change the serial
+  // merge order, breaking cross-K byte-identity.
+  if (now() + cfg_.expiry_sweep_interval <= cfg_.end_time) {
+    sched_in(0, cfg_.expiry_sweep_interval, EventKind::kExpirySweep);
   }
 }
 
 void PacketSimulator::apply_fault(std::size_t index) {
-  const faults::FaultInjector::Applied ap =
-      faults_->apply(index, events_.now());
+  const faults::FaultInjector::Applied ap = faults_->apply(index, now());
   ++metrics_.fault_events_applied;
   if (ap.needs_end_event) {
-    events_.schedule_typed(
-        ap.until, EventKind::kFaultEnd,
-        faults::FaultInjector::pack_end(ap.kind, ap.target));
+    sched_at(fault_anchor(graph_, ap.kind, ap.target), ap.until,
+             EventKind::kFaultEnd,
+             faults::FaultInjector::pack_end(ap.kind, ap.target));
   }
   switch (ap.kind) {
     case faults::FaultKind::kNodeDown:
@@ -678,7 +707,7 @@ void PacketSimulator::fail_node_queues(core::NodeId v) {
   // node_down), so the drain terminates; the outer loop re-checks the
   // O(1) counter in case a cascade enqueued before this sweep reached
   // a later arc.
-  core::Router& r = routers_[v];
+  core::Router& r = owned_router(v);
   while (r.queued_units() > 0) {
     for (std::size_t i = 0; i < r.arc_count(); ++i) {
       while (const auto qu = r.pop_local(i)) {
@@ -723,8 +752,8 @@ void PacketSimulator::fault_kill_unit(core::SlabHandle h) {
     // Waiting in a router queue: remove the entry so no ghost can block
     // the queue head once the slab slot is released.
     const graph::ArcId arc = st->path->arcs[st->hop];
-    if (routers_[graph_.tail(arc)].erase(arc, st->unit.id,
-                                         st->unit.amount)) {
+    if (owned_router(graph_.tail(arc)).erase(arc, st->unit.id,
+                                             st->unit.amount)) {
       --total_queued_units_;
       total_queued_amount_ -= st->unit.amount;
     }
@@ -756,8 +785,8 @@ void PacketSimulator::sample_series() {
     metrics_.channel_imbalance_series[e].push_back(
         core::to_units(net_.channel(e).imbalance()));
   }
-  if (events_.now() + cfg_.series_bucket <= cfg_.end_time) {
-    events_.schedule_typed_in(cfg_.series_bucket, EventKind::kSeriesSample);
+  if (now() + cfg_.series_bucket <= cfg_.end_time) {
+    sched_in(0, cfg_.series_bucket, EventKind::kSeriesSample);
   }
 }
 
@@ -766,11 +795,20 @@ void PacketSimulator::arm_auditor() {
   a.attach_network(net_);
   a.set_claimed_holds_provider([this] { return held_amount_; });
   a.add_check("queue-counters", [this] { return audit_queue_counters(); });
-  events_.set_post_event_hook(
-      [](void* ctx, TimePoint now, std::uint64_t processed) {
-        static_cast<InvariantAuditor*>(ctx)->on_event(now, processed);
-      },
-      &a);
+  const auto hook = [](void* ctx, TimePoint now, std::uint64_t processed) {
+    static_cast<InvariantAuditor*>(ctx)->on_event(now, processed);
+  };
+  if (pdes_ != nullptr) {
+    // Sharded runs additionally reconcile the engine's O(1) pending
+    // counter against a walk of per-shard heaps + staged runs +
+    // mailboxes + hot lane -- a single-heap recount would false-
+    // positive on every mailbox-resident event.
+    a.add_check("pdes-event-accounting",
+                [this] { return pdes_->audit_event_accounting(); });
+    pdes_->set_post_event_hook(hook, &a);
+  } else {
+    events_.set_post_event_hook(hook, &a);
+  }
 }
 
 std::optional<std::string> PacketSimulator::audit_queue_counters() const {
@@ -817,7 +855,8 @@ Metrics PacketSimulator::run() {
     const std::vector<faults::FaultEvent>& plan = faults_->plan().events();
     for (std::size_t i = 0; i < plan.size(); ++i) {
       if (plan[i].time > cfg_.end_time) continue;
-      events_.schedule_typed(plan[i].time, EventKind::kFaultStart, i);
+      sched_at(fault_anchor(graph_, plan[i].kind, plan[i].target),
+               plan[i].time, EventKind::kFaultStart, i);
     }
   }
   payment_units_.resize(requests_.size());
@@ -831,7 +870,7 @@ Metrics PacketSimulator::run() {
   // Sequence numbers in submission (pid) order, exactly as a loop of
   // schedule_typed calls would have assigned them; then sort by fire
   // order and keep just the head in the heap.
-  const std::uint64_t seq0 = events_.reserve_seqs(arrivals_.size());
+  const std::uint64_t seq0 = reserve_event_seqs(arrivals_.size());
   for (std::size_t i = 0; i < arrivals_.size(); ++i) {
     arrivals_[i].seq = seq0 + i;
   }
@@ -841,18 +880,22 @@ Metrics PacketSimulator::run() {
               return x.seq < y.seq;
             });
   if (!arrivals_.empty()) {
-    events_.schedule_typed_reserved(arrivals_[0].time, EventKind::kArrival,
-                                    arrivals_[0].seq, arrivals_[0].pid);
+    sched_reserved(requests_[arrivals_[0].pid].src, arrivals_[0].time,
+                   EventKind::kArrival, arrivals_[0].seq, arrivals_[0].pid);
   }
-  events_.schedule_typed(cfg_.expiry_sweep_interval, EventKind::kExpirySweep);
+  sched_at(0, cfg_.expiry_sweep_interval, EventKind::kExpirySweep);
   if (cfg_.collect_series) {
     metrics_.series_bucket = cfg_.series_bucket;
     metrics_.channel_imbalance_series.assign(graph_.edge_count(), {});
-    events_.schedule_typed(cfg_.series_bucket, EventKind::kSeriesSample);
+    sched_at(0, cfg_.series_bucket, EventKind::kSeriesSample);
   }
-  events_.run_until(cfg_.end_time);
+  if (pdes_ != nullptr) {
+    pdes_->run_until(cfg_.end_time);
+  } else {
+    events_.run_until(cfg_.end_time);
+  }
   if (cfg_.auditor != nullptr) {
-    cfg_.auditor->finish(events_.now(), events_.processed());
+    cfg_.auditor->finish(now(), events_processed());
   }
 
   for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {

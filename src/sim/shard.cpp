@@ -1,0 +1,267 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace spider::sim {
+
+ShardPlan::ShardPlan(std::uint32_t nodes, std::uint32_t shards)
+    : nodes_(nodes) {
+  if (nodes == 0) nodes_ = 1;
+  shards_ = std::clamp<std::uint32_t>(shards, 1, nodes_);
+  base_ = nodes_ / shards_;
+  rem_ = nodes_ % shards_;
+}
+
+ShardedEngine::ShardedEngine(ShardPlan plan, TimePoint epoch_length,
+                             ParallelFor parallel_for)
+    : plan_(plan), epoch_(epoch_length), parallel_for_(std::move(parallel_for)) {
+  if (!(epoch_ > 0)) {
+    throw std::invalid_argument("ShardedEngine: epoch_length must be > 0");
+  }
+  const std::uint32_t k = plan_.shards();
+  heaps_.resize(k);
+  run_.resize(k);
+  run_pos_.assign(k, 0);
+  // One mailbox column per dst shard for each src shard plus the engine
+  // lane (pre-run schedules and hot-lane-origin schedules).
+  outbox_.resize(static_cast<std::size_t>(k + 1) * k);
+}
+
+void ShardedEngine::route(std::uint32_t dst_shard, const SimEvent& ev) {
+  ++pending_;
+  // A schedule landing inside the epoch being executed must fire this
+  // epoch — its mailbox would commit one barrier too late. The merge
+  // loop consults the hot lane alongside the staged runs, so (time,
+  // seq) order still holds exactly.
+  if (ev.time < cur_epoch_end_) {
+    hot_.push(ev);
+    return;
+  }
+  const std::uint32_t src =
+      cur_shard_ == kEngineLane ? plan_.shards() : cur_shard_;
+  outbox_[static_cast<std::size_t>(src) * plan_.shards() + dst_shard]
+      .push_back(ev);
+}
+
+void ShardedEngine::schedule_typed(core::NodeId anchor, TimePoint t,
+                                   EventKind kind, std::uint64_t a,
+                                   std::uint64_t b) {
+  if (t < now_) {
+    throw std::invalid_argument("ShardedEngine::schedule_typed: time in the past");
+  }
+  if (kind == EventKind::kCallback) {
+    throw std::invalid_argument(
+        "ShardedEngine::schedule_typed: kCallback is serial-engine only");
+  }
+  const std::uint64_t meta =
+      (next_seq_++ << 8) | static_cast<std::uint64_t>(kind);
+  route(plan_.shard_of(anchor), SimEvent{t, meta, a, b});
+}
+
+void ShardedEngine::schedule_typed_reserved(core::NodeId anchor, TimePoint t,
+                                            EventKind kind, std::uint64_t seq,
+                                            std::uint64_t a, std::uint64_t b) {
+  if (t < now_) {
+    throw std::invalid_argument(
+        "ShardedEngine::schedule_typed_reserved: time in the past");
+  }
+  if (kind == EventKind::kCallback) {
+    throw std::invalid_argument(
+        "ShardedEngine::schedule_typed_reserved: kCallback is serial-engine "
+        "only");
+  }
+  const std::uint64_t meta = (seq << 8) | static_cast<std::uint64_t>(kind);
+  // Reserved sequences predate the current epoch's staging (arrival
+  // chains reserve before run_until), so a same-epoch fire time must
+  // take the hot lane like any other late schedule. route() decides.
+  route(plan_.shard_of(anchor), SimEvent{t, meta, a, b});
+}
+
+void ShardedEngine::commit_mailboxes(std::uint32_t dst) {
+  const std::uint32_t k = plan_.shards();
+  // Deterministic merge order: src shard id ascending (engine lane
+  // last), then event seq — each column is already in schedule order,
+  // which within one (src, dst) pair is seq order. Heap contents after
+  // the commit are therefore a pure function of the schedule history,
+  // never of barrier thread timing.
+  for (std::uint32_t src = 0; src <= k; ++src) {
+    std::vector<SimEvent>& box =
+        outbox_[static_cast<std::size_t>(src) * k + dst];
+    for (const SimEvent& ev : box) heaps_[dst].push(ev);
+    box.clear();
+  }
+}
+
+void ShardedEngine::stage_run(std::uint32_t dst, TimePoint epoch_end,
+                              TimePoint t_end) {
+  std::vector<SimEvent>& run = run_[dst];
+  run.clear();
+  run_pos_[dst] = 0;
+  EventHeap& heap = heaps_[dst];
+  while (!heap.empty() && heap.top()->time < epoch_end &&
+         heap.top()->time <= t_end) {
+    run.push_back(heap.pop());
+  }
+}
+
+void ShardedEngine::barrier(std::size_t count,
+                            const std::function<void(std::size_t)>& fn) {
+  in_barrier_ = true;
+  if (parallel_for_) {
+    parallel_for_(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+  in_barrier_ = false;
+}
+
+std::optional<TimePoint> ShardedEngine::earliest_pending() const {
+  std::optional<TimePoint> best;
+  for (const EventHeap& h : heaps_) {
+    if (const SimEvent* top = h.top();
+        top != nullptr && (!best || top->time < *best)) {
+      best = top->time;
+    }
+  }
+  if (const SimEvent* top = hot_.top();
+      top != nullptr && (!best || top->time < *best)) {
+    best = top->time;
+  }
+  return best;
+}
+
+void ShardedEngine::run_until(TimePoint t_end) {
+  const std::uint32_t k = plan_.shards();
+  for (;;) {
+    // Epoch barrier, phase 1: commit mailbox traffic into the
+    // destination heaps (independent per dst shard — pool-safe).
+    barrier(k, [this](std::size_t dst) {
+      commit_mailboxes(static_cast<std::uint32_t>(dst));
+    });
+
+    // Skip empty epochs: jump straight to the epoch holding the
+    // earliest queued event instead of iterating idle barriers.
+    const std::optional<TimePoint> first = earliest_pending();
+    if (!first || *first > t_end) break;
+    TimePoint epoch_end =
+        (std::floor(*first / epoch_) + 1.0) * epoch_;
+    while (epoch_end <= *first) epoch_end += epoch_;  // fp round guard
+    cur_epoch_end_ = epoch_end;
+
+    // Phase 2: stage each shard's sorted run for this epoch
+    // (independent per shard — pool-safe).
+    barrier(k, [this, epoch_end, t_end](std::size_t dst) {
+      stage_run(static_cast<std::uint32_t>(dst), epoch_end, t_end);
+    });
+
+    // Execute the epoch: K-way merge of the staged runs plus the hot
+    // lane, popping the global (time, seq) minimum each step — the
+    // exact order the serial engine's single heap would produce.
+    for (;;) {
+      std::uint32_t best_shard = kEngineLane;
+      const SimEvent* best = nullptr;
+      for (std::uint32_t s = 0; s < k; ++s) {
+        if (run_pos_[s] >= run_[s].size()) continue;
+        const SimEvent* cand = &run_[s][run_pos_[s]];
+        if (best == nullptr || cand->before(*best)) {
+          best = cand;
+          best_shard = s;
+        }
+      }
+      bool from_hot = false;
+      if (const SimEvent* hc = hot_.top();
+          hc != nullptr && hc->time < epoch_end && hc->time <= t_end &&
+          (best == nullptr || hc->before(*best))) {
+        best = hc;
+        from_hot = true;
+      }
+      if (best == nullptr) break;
+
+      SimEvent ev;
+      if (from_hot) {
+        ev = hot_.pop();
+        cur_shard_ = kEngineLane;
+      } else {
+        ev = run_[best_shard][run_pos_[best_shard]++];
+        cur_shard_ = best_shard;
+      }
+      now_ = ev.time;
+      ++processed_;
+      --pending_;
+      if (dispatcher_ == nullptr) {
+        throw std::logic_error(
+            "ShardedEngine: typed event fired without a dispatcher");
+      }
+      dispatcher_(dispatcher_ctx_, ev.kind(), ev.a, ev.b);
+      if (post_hook_ != nullptr) post_hook_(post_hook_ctx_, now_, processed_);
+    }
+    cur_shard_ = kEngineLane;
+    cur_epoch_end_ = 0;
+  }
+  cur_epoch_end_ = 0;
+  if (now_ < t_end) now_ = t_end;
+}
+
+std::size_t ShardedEngine::mailbox_pending() const {
+  std::size_t n = 0;
+  for (const std::vector<SimEvent>& box : outbox_) n += box.size();
+  return n;
+}
+
+std::optional<std::string> ShardedEngine::audit_event_accounting() const {
+  std::size_t heaps = 0;
+  for (const EventHeap& h : heaps_) heaps += h.size();
+  std::size_t staged = 0;
+  for (std::uint32_t s = 0; s < plan_.shards(); ++s) {
+    staged += run_[s].size() - run_pos_[s];
+  }
+  const std::size_t mail = mailbox_pending();
+  const std::size_t recount = heaps + staged + mail + hot_.size();
+  if (recount == pending_) return std::nullopt;
+  std::ostringstream os;
+  os << "pdes-event-accounting: running counter " << pending_ << " != recount "
+     << recount << " (heaps " << heaps << " + staged " << staged
+     << " + mailboxes " << mail << " + hot " << hot_.size() << ")";
+  return os.str();
+}
+
+namespace {
+void fnv_event(std::uint64_t& h, const SimEvent& ev) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t words[4];
+  static_assert(sizeof(ev.time) == sizeof(std::uint64_t));
+  std::memcpy(&words[0], &ev.time, sizeof(std::uint64_t));
+  words[1] = ev.meta;
+  words[2] = ev.a;
+  words[3] = ev.b;
+  for (std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (8 * i)) & 0xff;
+      h *= kPrime;
+    }
+  }
+}
+}  // namespace
+
+std::uint64_t ShardedEngine::layout_checksum() const {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (const EventHeap& heap : heaps_) {
+    for (const SimEvent& ev : heap.entries()) fnv_event(h, ev);
+  }
+  for (std::uint32_t s = 0; s < plan_.shards(); ++s) {
+    for (std::size_t i = run_pos_[s]; i < run_[s].size(); ++i) {
+      fnv_event(h, run_[s][i]);
+    }
+  }
+  for (const std::vector<SimEvent>& box : outbox_) {
+    for (const SimEvent& ev : box) fnv_event(h, ev);
+  }
+  for (const SimEvent& ev : hot_.entries()) fnv_event(h, ev);
+  return h;
+}
+
+}  // namespace spider::sim

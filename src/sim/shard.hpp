@@ -1,0 +1,215 @@
+#pragma once
+// Deterministic sharded discrete-event engine (PDES) for the packet
+// simulator — ROADMAP item 2.
+//
+// Routers are partitioned into K shards of contiguous node ranges
+// (ShardPlan). Each shard owns a private 4-ary event heap (the same
+// EventHeap the serial EventQueue uses), and simulation proceeds in
+// lockstep *epochs* whose length derives from the minimum cross-shard
+// channel delay (one hop delay): every event executed in epoch i
+// schedules its successors at least one hop delay later, so the set of
+// events an epoch can fire is fixed at its start. Events that cross a
+// shard boundary (a unit hopping into another shard's router, an ack
+// returning to the sender's shard) are buffered into per-(src-shard,
+// dst-shard) *mailboxes* and committed into the destination heaps at
+// the epoch barrier, in deterministic (src shard id, then event seq)
+// order. The rare schedule that lands inside the *current* epoch
+// (chained payment arrivals, a fault window ending within one hop
+// delay) goes to a small engine-owned "hot lane" heap that the merge
+// consults alongside the staged shard runs, so correctness never
+// depends on the lookahead — only batching efficiency does.
+//
+// Determinism contract (DESIGN.md §12): events commit in the exact
+// global (time, seq) order the serial EventQueue would produce —
+// per-shard staged runs are sorted, the execution loop pops the global
+// minimum across shard runs and the hot lane, and sequence numbers are
+// drawn from one global counter in execution order. K = 1 is therefore
+// bit-for-bit identical to the serial engine, and any K produces
+// byte-identical metrics. The parallelizable work is the epoch-barrier
+// shard maintenance — mailbox commits and run staging are independent
+// per destination shard and run on the experiment runner's pool via
+// the injected `parallel_for` hook (chunk-pure: each task touches only
+// its own shard's heap, run buffer, and mailbox column).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace spider::sim {
+
+/// Partition of routers [0, nodes) into `shards` contiguous ranges of
+/// near-equal size (the first `nodes % shards` ranges are one node
+/// longer). Contiguity keeps the shard lookup arithmetic and lets a
+/// locality-aware node numbering (communities, ISP regions) translate
+/// directly into intra-shard traffic.
+class ShardPlan {
+ public:
+  /// `shards` is clamped to [1, max(nodes, 1)].
+  ShardPlan(std::uint32_t nodes, std::uint32_t shards);
+
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+  [[nodiscard]] std::uint32_t nodes() const { return nodes_; }
+  /// Owning shard of node `v`. O(1).
+  [[nodiscard]] std::uint32_t shard_of(core::NodeId v) const {
+    const std::uint32_t u = static_cast<std::uint32_t>(v);
+    // Ranges: the first `rem_` shards have base_ + 1 nodes.
+    const std::uint32_t pivot = (base_ + 1) * rem_;
+    if (u < pivot) return u / (base_ + 1);
+    return rem_ + (u - pivot) / base_;
+  }
+  /// First node of shard `s`.
+  [[nodiscard]] std::uint32_t first_node(std::uint32_t s) const {
+    if (s < rem_) return s * (base_ + 1);
+    return rem_ * (base_ + 1) + (s - rem_) * base_;
+  }
+  /// One past the last node of shard `s`.
+  [[nodiscard]] std::uint32_t end_node(std::uint32_t s) const {
+    return first_node(s) + base_ + (s < rem_ ? 1 : 0);
+  }
+
+ private:
+  std::uint32_t nodes_;
+  std::uint32_t shards_;
+  std::uint32_t base_;  // nodes / shards
+  std::uint32_t rem_;   // nodes % shards
+};
+
+/// The sharded engine. API mirrors EventQueue's typed path plus an
+/// anchor node per schedule (the router whose shard owns the event);
+/// the std::function callback escape hatch is intentionally absent —
+/// sharded runs are typed-event only.
+class ShardedEngine {
+ public:
+  using Dispatcher = EventQueue::Dispatcher;
+  using PostEventHook = EventQueue::PostEventHook;
+  /// Barrier parallelism hook: called as pf(count, task) and must run
+  /// task(0..count-1) each exactly once (any order, any thread) before
+  /// returning — exp::Runner::for_each has exactly this shape. Null
+  /// runs barriers serially; results are byte-identical either way.
+  using ParallelFor =
+      std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
+  /// `epoch_length` must be > 0; it should be the minimum cross-shard
+  /// event delay (the packet sim's hop delay) so mailbox traffic always
+  /// commits one barrier ahead of its fire time.
+  ShardedEngine(ShardPlan plan, TimePoint epoch_length,
+                ParallelFor parallel_for = nullptr);
+
+  void set_dispatcher(Dispatcher fn, void* ctx) {
+    dispatcher_ = fn;
+    dispatcher_ctx_ = ctx;
+  }
+  void set_post_event_hook(PostEventHook fn, void* ctx) {
+    post_hook_ = fn;
+    post_hook_ctx_ = ctx;
+  }
+
+  /// Schedules a typed event at absolute time `t` (>= now(), throws
+  /// std::invalid_argument otherwise) anchored at node `anchor` —
+  /// executed in its shard's range of the deterministic global merge.
+  void schedule_typed(core::NodeId anchor, TimePoint t, EventKind kind,
+                      std::uint64_t a = 0, std::uint64_t b = 0);
+  void schedule_typed_in(core::NodeId anchor, TimePoint delay, EventKind kind,
+                         std::uint64_t a = 0, std::uint64_t b = 0) {
+    schedule_typed(anchor, now_ + delay, kind, a, b);
+  }
+
+  /// Same reserved-sequence contract as EventQueue (chained arrivals).
+  std::uint64_t reserve_seqs(std::uint64_t count) {
+    const std::uint64_t first = next_seq_;
+    next_seq_ += count;
+    return first;
+  }
+  void schedule_typed_reserved(core::NodeId anchor, TimePoint t,
+                               EventKind kind, std::uint64_t seq,
+                               std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Runs events while their time is <= `t_end` in global (time, seq)
+  /// order, epoch by epoch, then advances the clock to exactly `t_end`.
+  /// Later events stay queued (in heaps, mailboxes, or the hot lane).
+  void run_until(TimePoint t_end);
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  /// Scheduled-but-unexecuted events, O(1) running counter (the audit
+  /// recount walks the actual structures; see audit_event_accounting).
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint32_t shard_count() const { return plan_.shards(); }
+  [[nodiscard]] TimePoint epoch_length() const { return epoch_; }
+  /// True while epoch-barrier shard maintenance runs on the pool;
+  /// simulator state must not be touched then (the owning-shard
+  /// accessors assert this — see the `shard-state` lint rule).
+  [[nodiscard]] bool in_barrier() const { return in_barrier_; }
+
+  /// Events sitting in shard `s`'s private heap right now.
+  [[nodiscard]] std::size_t heap_pending(std::uint32_t s) const {
+    return heaps_[s].size();
+  }
+  /// Events buffered in mailboxes awaiting their barrier commit.
+  [[nodiscard]] std::size_t mailbox_pending() const;
+  /// Events in the engine-owned hot lane.
+  [[nodiscard]] std::size_t hot_pending() const { return hot_.size(); }
+
+  /// Recounts pending events across per-shard heaps, staged runs,
+  /// mailboxes, and the hot lane and compares against the O(1) running
+  /// counter. Returns a diagnosis on mismatch (the auditor registers
+  /// this as the `pdes-event-accounting` check) — a recount that
+  /// walked only the heaps would false-positive on any mailbox- or
+  /// hot-lane-resident event.
+  [[nodiscard]] std::optional<std::string> audit_event_accounting() const;
+
+  /// FNV-1a over every queued event (heaps in shard order, staged
+  /// runs, mailboxes in (src, dst) order, hot lane). Deterministic for
+  /// a deterministic schedule history; pinned by the engine tests.
+  [[nodiscard]] std::uint64_t layout_checksum() const;
+
+ private:
+  static constexpr std::uint32_t kEngineLane = ~std::uint32_t{0};
+
+  void route(std::uint32_t dst_shard, const SimEvent& ev);
+  /// Moves every mailbox column entry into its destination heap
+  /// (deterministic (src shard, seq) order) — one task per dst shard.
+  void commit_mailboxes(std::uint32_t dst);
+  /// Pops shard `dst`'s events with time < `epoch_end` and <= `t_end`
+  /// into its staged run.
+  void stage_run(std::uint32_t dst, TimePoint epoch_end, TimePoint t_end);
+  void barrier(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Earliest queued event time across heaps and hot lane, or nullopt.
+  [[nodiscard]] std::optional<TimePoint> earliest_pending() const;
+
+  ShardPlan plan_;
+  TimePoint epoch_;
+  ParallelFor parallel_for_;
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t pending_ = 0;
+  TimePoint cur_epoch_end_ = 0;  // 0 while not executing an epoch
+  /// Shard of the event being executed (kEngineLane outside execution
+  /// and for hot-lane events): the mailbox row schedules write to.
+  std::uint32_t cur_shard_ = kEngineLane;
+  bool in_barrier_ = false;
+
+  std::vector<EventHeap> heaps_;           // one per shard
+  std::vector<std::vector<SimEvent>> run_;  // staged epoch runs
+  std::vector<std::size_t> run_pos_;
+  /// Mailboxes: outbox_[src * K + dst]; src == K is the engine lane
+  /// (pre-run schedules and hot-lane-origin schedules).
+  std::vector<std::vector<SimEvent>> outbox_;
+  EventHeap hot_;
+
+  Dispatcher dispatcher_ = nullptr;
+  void* dispatcher_ctx_ = nullptr;
+  PostEventHook post_hook_ = nullptr;
+  void* post_hook_ctx_ = nullptr;
+};
+
+}  // namespace spider::sim

@@ -78,7 +78,7 @@ TEST(ChaosFlow, SameSeedIsByteIdentical) {
   }
 }
 
-sim::Metrics run_packet_chaos(std::size_t seed) {
+sim::Metrics run_packet_chaos(std::size_t seed, std::uint32_t shards = 0) {
   const graph::Graph g = (seed % 2 == 0) ? graph::topology::make_ring(8)
                                          : graph::topology::make_line(6);
   faults::FaultProfile profile =
@@ -113,6 +113,7 @@ sim::Metrics run_packet_chaos(std::size_t seed) {
   }
   cfg.faults = &injector;
   cfg.auditor = &auditor;
+  cfg.shards = shards;
   sim::PacketSimulator sim(
       g,
       std::vector<core::Amount>(g.edge_count(), core::from_units(60)),
@@ -133,9 +134,15 @@ sim::Metrics run_packet_chaos(std::size_t seed) {
 }
 
 TEST(ChaosPacket, RandomSchedulesKeepInvariantsUnderStrictAudit) {
+  // Shard counts cycle with the schedules (0 = classic serial engine),
+  // so every fault family meets every engine configuration across the
+  // 100 packet schedules — all under the throwing auditor, including
+  // its sharded-run pdes-event-accounting check.
+  constexpr std::uint32_t kShardCycle[] = {0, 1, 2, 4};
   for (std::size_t seed = 0; seed < kPacketSchedules; ++seed) {
-    ASSERT_NO_THROW((void)run_packet_chaos(seed))
-        << "schedule seed " << seed << " profile " << chaos_profile(seed);
+    ASSERT_NO_THROW((void)run_packet_chaos(seed, kShardCycle[seed % 4]))
+        << "schedule seed " << seed << " shards " << kShardCycle[seed % 4]
+        << " profile " << chaos_profile(seed);
   }
 }
 
@@ -144,6 +151,140 @@ TEST(ChaosPacket, SameSeedIsByteIdentical) {
     const sim::Metrics a = run_packet_chaos(seed);
     const sim::Metrics b = run_packet_chaos(seed);
     EXPECT_EQ(a, b) << "schedule seed " << seed;
+  }
+}
+
+TEST(ChaosPacket, ShardCountNeverChangesChaosOutcomes) {
+  // The fault storms must be byte-identical across engines: serial vs
+  // 2-shard vs 4-shard, full sim::Metrics equality per seed.
+  for (std::size_t seed = 0; seed < 10; ++seed) {
+    const sim::Metrics serial = run_packet_chaos(seed, 0);
+    EXPECT_EQ(run_packet_chaos(seed, 2), serial) << "seed " << seed;
+    EXPECT_EQ(run_packet_chaos(seed, 4), serial) << "seed " << seed;
+  }
+}
+
+/// Asserts every channel of `net` has conserved escrow and no residual
+/// HTLC holds: refunds/settlements released each hold exactly once
+/// (a double release would inflate a balance above the escrow; a leak
+/// would leave pending != 0). `caps[e]` is the edge's total escrow.
+void expect_channels_quiescent_and_conserved(
+    const core::ChannelNetwork& net, const graph::Graph& g,
+    const std::vector<core::Amount>& caps) {
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const core::Channel& ch = net.channel(e);
+    EXPECT_EQ(ch.pending(core::Side::kA), 0) << "edge " << e;
+    EXPECT_EQ(ch.pending(core::Side::kB), 0) << "edge " << e;
+    EXPECT_EQ(ch.balance(core::Side::kA) + ch.balance(core::Side::kB), caps[e])
+        << "edge " << e;
+  }
+}
+
+TEST(ChaosPacket, CrossShardRefundConservesValue) {
+  // line-6 at K=2 splits ownership {0,1,2} | {3,4,5}. A payment from
+  // node 0 to node 5 locks hops in both shards, then starves at the
+  // last (deliberately tiny) channel, queues in shard 1, expires there,
+  // and refunds its upstream holds back across the shard boundary.
+  const graph::Graph g = graph::topology::make_line(6);
+  std::vector<core::Amount> caps(g.edge_count(), core::from_units(100));
+  caps[4] = core::from_units(4);  // 4--5 can never carry a 10-unit lock
+
+  sim::AuditConfig acfg;
+  acfg.check_every_events = 1;  // audit between every two events
+  acfg.throw_on_violation = true;
+  sim::InvariantAuditor auditor(acfg);
+
+  sim::PacketSimConfig cfg;
+  cfg.end_time = 20.0;
+  cfg.shards = 2;
+  cfg.auditor = &auditor;
+  sim::PacketSimulator sim(g, caps, cfg);
+
+  core::PaymentRequest req;
+  req.src = 0;
+  req.dst = 5;
+  req.amount = core::from_units(10);
+  req.arrival = 0.5;
+  req.deadline = 5.0;  // expires long before end_time
+  sim.submit(req);
+  const sim::Metrics m = sim.run();
+
+  ASSERT_NE(sim.shard_engine(), nullptr);
+  EXPECT_EQ(sim.shard_engine()->plan().shard_of(2), 0u);
+  EXPECT_EQ(sim.shard_engine()->plan().shard_of(3), 1u);
+  EXPECT_EQ(m.failed, 1u);  // the unit could not be delivered
+  EXPECT_EQ(sim.queued_units(), 0u);
+  expect_channels_quiescent_and_conserved(sim.network(), g, caps);
+  // Same story, serial engine: byte-identical metrics.
+  sim::PacketSimConfig scfg = cfg;
+  scfg.auditor = nullptr;
+  scfg.shards = 0;
+  sim::PacketSimulator serial(g, caps, scfg);
+  serial.submit(req);
+  EXPECT_EQ(serial.run(), m);
+}
+
+TEST(ChaosPacket, ForeignShardHtlcExpiryReleasesHoldExactlyOnce) {
+  // Spider-cc per-launch timeout: units from shard-0 hosts get stuck in
+  // a shard-1 router queue; the global expiry sweep (anchored at node
+  // 0, executing in shard 0's range of the merge) drops them inside
+  // what is a *foreign* epoch slice for their holds. Each hold must
+  // release exactly once -- conservation after the run plus the strict
+  // auditor (every event) prove no double release and no leak.
+  const graph::Graph g = graph::topology::make_line(6);
+  std::vector<core::Amount> caps(g.edge_count(), core::from_units(100));
+  caps[3] = core::from_units(12);  // 6 a side: a 10-unit lock never fits
+
+  sim::AuditConfig acfg;
+  acfg.check_every_events = 1;
+  acfg.throw_on_violation = true;
+  sim::InvariantAuditor auditor(acfg);
+
+  sim::PacketSimConfig cfg;
+  cfg.end_time = 30.0;
+  cfg.shards = 2;
+  cfg.cc_mode = sim::CongestionControlMode::kSpiderCc;
+  cfg.cc_unit_timeout = 1.5;  // timeouts fire while queued cross-shard
+  cfg.auditor = &auditor;
+  sim::PacketSimulator sim(g, caps, cfg);
+
+  core::PaymentRequest req;
+  for (std::size_t i = 0; i < 4; ++i) {
+    req.src = 0;
+    req.dst = 5;
+    req.amount = core::from_units(10);
+    req.arrival = 0.2 + 0.1 * static_cast<double>(i);
+    req.deadline = req.arrival + 8.0;
+    sim.submit(req);
+  }
+  const sim::Metrics m = sim.run();
+
+  EXPECT_GT(m.cc_timeout_retries, 0u);  // foreign-epoch expiries fired
+  EXPECT_EQ(sim.queued_units(), 0u);
+  expect_channels_quiescent_and_conserved(sim.network(), g, caps);
+  // And the whole storm is byte-identical to the serial engine.
+  sim::PacketSimConfig scfg = cfg;
+  scfg.auditor = nullptr;
+  scfg.shards = 0;
+  sim::PacketSimulator serial(g, caps, scfg);
+  for (std::size_t i = 0; i < 4; ++i) {
+    req.arrival = 0.2 + 0.1 * static_cast<double>(i);
+    req.deadline = req.arrival + 8.0;
+    serial.submit(req);
+  }
+  EXPECT_EQ(serial.run(), m);
+}
+
+TEST(ChaosPacket, AuditedShardedRunSeesMailboxResidentEvents) {
+  // Regression for the single-heap recount assumption: with the audit
+  // cadence at every event, checks run while hop/ack events sit in
+  // cross-shard mailboxes and the hot lane. The pdes-event-accounting
+  // check must reconcile heaps + staged runs + mailboxes + hot lane
+  // against the running counter -- a recount that walked one heap
+  // would throw here on the first cross-shard hop.
+  for (const std::size_t seed : {0UL, 1UL, 5UL}) {
+    ASSERT_NO_THROW((void)run_packet_chaos(seed, 3))
+        << "schedule seed " << seed;
   }
 }
 

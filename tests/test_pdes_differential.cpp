@@ -1,0 +1,151 @@
+// Shard-count differential pin of the PDES engine (sim/shard.hpp,
+// DESIGN.md §12): the same packet-backed trials must produce
+// byte-identical metrics at every shard count — K = 1 vs the classic
+// serial engine, and any K vs any other K — including under fault
+// injection, strict auditing, and telemetry series. The golden rows are
+// the seed-build values (the packet-backed subset of
+// test_scale_differential.cpp's table), so every K is pinned against
+// the pre-PDES simulator at exact double equality, not just against
+// each other.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace spider;
+
+constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+struct GoldenRow {
+  const char* scheme;
+  const char* topology;
+  double success_ratio;
+  double success_volume;
+  double latency_p95;
+};
+
+// Seed-build output of the packet-backed schemes (fig6/fig7-style mini
+// sweep, txns=600, end_time=40, workload_seed=derive_seed(33, 0)),
+// printed at %.17g — identical to the rows test_scale_differential.cpp
+// pins for the serial engine.
+const GoldenRow kGolden[] = {
+    {"spider-cc", "isp32", 0.93999999999999995, 0.95919211570775287,
+     0.29427271762092821},
+    {"packet-widest", "isp32", 0.94833333333333336, 0.95290156600198972,
+     0.29427271762092821},
+    {"spider-cc", "ripple-400", 0.93000000000000005, 0.93846757755442822,
+     0.60429639023813286},
+    {"packet-widest", "ripple-400", 0.91833333333333333, 0.92573774979111911,
+     0.5232991146814947},
+};
+
+exp::TrialSpec packet_spec(const char* scheme, const char* topology) {
+  exp::TrialSpec t;
+  t.scheme = scheme;
+  t.topology = topology;
+  t.workload = std::string(topology).rfind("ripple", 0) == 0 ? "ripple" : "isp";
+  t.seed_index = 0;
+  t.workload_seed = exp::derive_seed(33, 0);
+  t.txns = 600;
+  t.end_time = 40.0;
+  t.capacity_units = 1500.0;
+  return t;
+}
+
+TEST(PdesDifferential, GoldenRowsReproduceAtEveryShardCount) {
+  // Exact double equality on purpose: the PDES engine claims
+  // byte-identity with the seed build at ANY shard count, not "close
+  // enough". A single bit of drift in any metric fails here.
+  for (const GoldenRow& want : kGolden) {
+    for (const std::uint32_t k : kShardCounts) {
+      SCOPED_TRACE(std::string(want.scheme) + " on " + want.topology +
+                   " shards=" + std::to_string(k));
+      exp::TrialSpec spec = packet_spec(want.scheme, want.topology);
+      spec.shards = k;
+      const exp::TrialResult got = exp::run_trial(spec);
+      EXPECT_EQ(got.metrics.success_ratio(), want.success_ratio);
+      EXPECT_EQ(got.metrics.success_volume(), want.success_volume);
+      EXPECT_EQ(got.metrics.latency_p95(), want.latency_p95);
+    }
+  }
+}
+
+TEST(PdesDifferential, FullMetricsStructIdenticalAcrossShardCounts) {
+  // Every field — counters, histograms, telemetry series — via
+  // sim::Metrics's defaulted operator==, with strict auditing on. The
+  // baseline is the classic serial engine (shards=0).
+  exp::TrialSpec base = packet_spec("spider-cc", "isp32");
+  base.txns = 300;
+  base.end_time = 25.0;
+  base.collect_series = true;
+  base.audit = true;
+  const sim::Metrics want = exp::run_trial(base).metrics;
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    exp::TrialSpec spec = base;
+    spec.shards = k;
+    EXPECT_TRUE(exp::run_trial(spec).metrics == want);
+  }
+}
+
+TEST(PdesDifferential, FaultSweepIdenticalAcrossShardCounts) {
+  // Fault events route to their targets' owning shards; the outcome
+  // must not depend on which shard that is.
+  exp::TrialSpec base = packet_spec("spider-cc", "ripple-400");
+  base.txns = 300;
+  base.end_time = 25.0;
+  base.audit = true;
+  base.faults = "churn=0.08,downtime=4,close=0.02,withhold=0.05,stale=0.02,seed=7";
+  const sim::Metrics want = exp::run_trial(base).metrics;
+  ASSERT_GT(want.fault_events_applied, 0u);  // the plan actually fired
+  for (const std::uint32_t k : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    exp::TrialSpec spec = base;
+    spec.shards = k;
+    EXPECT_TRUE(exp::run_trial(spec).metrics == want);
+  }
+}
+
+TEST(PdesDifferential, ReportJsonAndCsvByteIdenticalAcrossShardCounts) {
+  // The full serialized reports — every metric digit rendered — must
+  // match byte for byte. Only wall_seconds (explicitly documented as
+  // non-deterministic) is normalized out. Note the reports carry no
+  // shards column: the knob is an execution detail, and adding it would
+  // change the schema bytes this test freezes.
+  exp::SweepConfig cfg;
+  cfg.name = "pdes-diff";
+  cfg.schemes = {"spider-cc", "packet-widest"};
+  cfg.topologies = {"isp32"};
+  cfg.capacities_units = {1500.0};
+  cfg.base_seed = 33;
+  cfg.txns = 300;
+  cfg.end_time = 25.0;
+  const exp::Runner runner(1);
+
+  const auto render = [&](std::uint32_t shards) {
+    exp::SweepConfig c = cfg;
+    c.shards = shards;
+    std::vector<exp::TrialResult> results = exp::run_sweep(c, runner);
+    for (exp::TrialResult& r : results) r.wall_seconds = 0.0;
+    return std::pair<std::string, std::string>(
+        exp::sweep_report_json("pdes-diff", results, 1).dump(2),
+        exp::sweep_report_csv(results));
+  };
+
+  const auto [json0, csv0] = render(0);
+  for (const std::uint32_t k : {2u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(k));
+    const auto [json_k, csv_k] = render(k);
+    EXPECT_EQ(json_k, json0);
+    EXPECT_EQ(csv_k, csv0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+// spider-lint: shard-state-file
+// Fixture: router/channel mutations that bypass the owning-shard
+// accessors in a shard-state file. Under the PDES engine these writes
+// could land in a foreign shard's execution slice; every mutator line
+// below must fire [shard-state].
+
+#include <cstddef>
+#include <vector>
+
+namespace spider::sim {
+
+struct BadShardState {
+  void mutate_directly(std::size_t v) {
+    routers_[v].push_local(7);                 // fires: raw slab access
+    routers_[v].drop_expired(1.5);             // fires
+    net_->offer_htlc(3, 10);                   // fires: channel mutation
+    auto& r = routers_[v];                     // binding skips the accessor
+    r.pop_local();                             // fires: r is not owned-bound
+    this->routers_[0].configure_marking(0.3);  // fires
+  }
+
+  struct FakeNet {
+    void offer_htlc(int, int) {}
+  };
+  std::vector<int> routers_;
+  FakeNet* net_ = nullptr;
+};
+
+}  // namespace spider::sim

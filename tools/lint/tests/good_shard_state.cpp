@@ -1,0 +1,43 @@
+// spider-lint: shard-state-file
+// Fixture: every router/channel mutation goes through the owning-shard
+// accessors -- inline, via a bound reference, or wrapped across lines.
+// The shard-state rule must stay silent.
+
+#include <cstddef>
+
+namespace spider::sim {
+
+struct Router {
+  void push_local(int) {}
+  void pop_local() {}
+  void drop_expired(double) {}
+  void configure_marking(double) {}
+};
+struct Channel {
+  void offer_htlc(int, int) {}
+  void settle_htlc(int) {}
+};
+
+struct GoodShardState {
+  void mutate_via_accessors(std::size_t v) {
+    owned_router(v).push_local(7);
+    owned_router(v).drop_expired(1.5);
+    owned_channel(3).offer_htlc(3, 10);
+    Router& router = owned_router(v);  // sanctioned binding...
+    router.pop_local();                // ...mutations through it are fine
+    auto& ch = owned_channel(4);
+    ch.settle_htlc(9);
+    owned_router(v)  // wrapped call: accessor on the line above
+        .configure_marking(0.3);
+    const int depth = queue_depth(v);  // reads never need the accessor
+    (void)depth;
+  }
+
+  Router& owned_router(std::size_t) { return router_; }
+  Channel& owned_channel(std::size_t) { return channel_; }
+  int queue_depth(std::size_t) { return 0; }
+  Router router_;
+  Channel channel_;
+};
+
+}  // namespace spider::sim
