@@ -55,8 +55,17 @@ const std::vector<TxUnit>& Transport::begin_payment(PaymentId id,
   op.confirmed.assign(unit_count, 0);
   op.abandoned.assign(unit_count, 0);
   op.key_released.assign(unit_count, 0);
-  payments_.push_back(std::move(op));
   if (id >= slot_of_.size()) slot_of_.resize(id + 1, 0);
+  if (!free_slots_.empty()) {
+    // Recycle a retired record's slot; deque addresses are stable, so
+    // references held for other (live) payments stay valid.
+    const std::uint32_t pos = free_slots_.back();
+    free_slots_.pop_back();
+    payments_[pos - 1] = std::move(op);
+    slot_of_[id] = pos;
+    return payments_[pos - 1].units;
+  }
+  payments_.push_back(std::move(op));
   slot_of_[id] = static_cast<std::uint32_t>(payments_.size());
   return payments_.back().units;
 }
@@ -106,9 +115,21 @@ std::vector<KeyRelease> Transport::confirm_unit(TxUnitId unit, TimePoint now,
 void Transport::abandon_unit(TxUnitId unit) {
   OutPayment* op = find_payment(unit.payment);
   if (op == nullptr) return;
-  if (unit.seq < op->units.size() && !op->confirmed[unit.seq]) {
+  if (unit.seq < op->units.size() && !op->confirmed[unit.seq] &&
+      !op->abandoned[unit.seq]) {
     op->abandoned[unit.seq] = 1;
+    ++op->abandoned_count;
   }
+}
+
+void Transport::retire_payment(PaymentId id) {
+  if (find_payment(id) == nullptr) {
+    throw std::invalid_argument("Transport::retire_payment: unknown id");
+  }
+  const std::uint32_t pos = slot_of_[id];
+  slot_of_[id] = 0;
+  payments_[pos - 1] = OutPayment{};  // drop unit/key memory now
+  free_slots_.push_back(pos);
 }
 
 const Transport::OutPayment& Transport::get(PaymentId id) const {

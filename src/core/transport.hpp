@@ -90,6 +90,27 @@ class Transport {
     return op.request.amount - op.confirmed_amount;
   }
 
+  /// True when every unit is confirmed or abandoned: no future event
+  /// can change this payment's delivered() value (confirmations and
+  /// abandonments are disjoint and final per unit).
+  [[nodiscard]] bool resolved(PaymentId id) const {
+    const OutPayment& op = get(id);
+    return op.confirmed_count + op.abandoned_count ==
+           static_cast<std::uint32_t>(op.units.size());
+  }
+
+  /// Frees a payment's record; the deque slot is recycled by a later
+  /// begin_payment and the id becomes unknown (get() throws). This is
+  /// how the service driver (DESIGN.md §13) keeps a long-running run's
+  /// memory bounded by in-flight work instead of stream length. Only
+  /// call on resolved payments whose units have left the network.
+  void retire_payment(PaymentId id);
+
+  /// Payment records currently held (begun and not yet retired).
+  [[nodiscard]] std::size_t live_payments() const {
+    return payments_.size() - free_slots_.size();
+  }
+
  private:
   // Per-unit key state lives densely inside the payment (indexed by
   // unit seq) instead of a sender-global hash map: releasing a key on
@@ -103,6 +124,7 @@ class Transport {
     std::vector<char> key_released;  // per unit
     Amount confirmed_amount = 0;
     std::uint32_t confirmed_count = 0;
+    std::uint32_t abandoned_count = 0;
     bool keys_released = false;  // atomic: base key released
   };
 
@@ -127,6 +149,7 @@ class Transport {
   std::mt19937_64 rng_;  // key generator (same draw order as HtlcKeyRing)
   std::deque<OutPayment> payments_;
   std::vector<std::uint32_t> slot_of_;  // id -> index+1 (0 = absent)
+  std::vector<std::uint32_t> free_slots_;  // retired positions (index+1)
   std::uint64_t marked_confirms_ = 0;
   std::uint64_t clean_confirms_ = 0;
 };

@@ -91,6 +91,38 @@ class Histogram {
   [[nodiscard]] double p95() const { return quantile(0.95); }
   [[nodiscard]] double p99() const { return quantile(0.99); }
 
+  /// Quantile over the samples added since `earlier` was captured
+  /// (service-mode windowed percentiles: `earlier` is a copy of this
+  /// histogram at the previous window boundary, so the difference of
+  /// counts is exactly the window's sample multiset). Counts are
+  /// additive, so the per-bucket subtraction is exact; the clamp uses
+  /// the cumulative [lo, hi] (the window's true extremes are not
+  /// tracked), which keeps the result deterministic and within the
+  /// usual bucket error. Returns 0 when no samples were added, or on
+  /// incompatible bucketing.
+  [[nodiscard]] double quantile_since(const Histogram& earlier,
+                                      double q) const {
+    if (earlier.counts_.size() != counts_.size() || earlier.min_ != min_ ||
+        earlier.per_decade_ != per_decade_) {
+      return 0.0;
+    }
+    const std::uint64_t n = count_ - earlier.count_;
+    if (count_ < earlier.count_ || n == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target_d = q * static_cast<double>(n);
+    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(target_d));
+    if (target == 0) target = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += counts_[i] - earlier.counts_[i];
+      if (cum >= target) {
+        return std::min(hi_, std::max(lo_, representative(i)));
+      }
+    }
+    return hi_;
+  }
+
   /// Worst-case relative error of quantile(): one bucket's growth.
   [[nodiscard]] double relative_error() const {
     return std::pow(10.0, 1.0 / static_cast<double>(per_decade_)) - 1.0;

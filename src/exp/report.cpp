@@ -425,6 +425,11 @@ Json metrics_to_json(const sim::Metrics& m) {
   j.set("fault_withheld_acks", m.fault_withheld_acks);
   j.set("fault_stale_decisions", m.fault_stale_decisions);
   j.set("fault_backoff_retries", m.fault_backoff_retries);
+  j.set("fault_jam_spells", m.fault_jam_spells);
+  j.set("fault_jam_locked_volume",
+        static_cast<std::int64_t>(m.fault_jam_locked_volume));
+  j.set("fault_grief_spells", m.fault_grief_spells);
+  j.set("fault_griefed_acks", m.fault_griefed_acks);
   j.set("cc_marked_acks", m.cc_marked_acks);
   j.set("cc_window_decreases", m.cc_window_decreases);
   j.set("cc_timeout_retries", m.cc_timeout_retries);
@@ -472,6 +477,10 @@ sim::Metrics metrics_from_json(const Json& j) {
   m.fault_withheld_acks = j.at("fault_withheld_acks").as_uint();
   m.fault_stale_decisions = j.at("fault_stale_decisions").as_uint();
   m.fault_backoff_retries = j.at("fault_backoff_retries").as_uint();
+  m.fault_jam_spells = j.at("fault_jam_spells").as_uint();
+  m.fault_jam_locked_volume = j.at("fault_jam_locked_volume").as_int();
+  m.fault_grief_spells = j.at("fault_grief_spells").as_uint();
+  m.fault_griefed_acks = j.at("fault_griefed_acks").as_uint();
   m.cc_marked_acks = j.at("cc_marked_acks").as_uint();
   m.cc_window_decreases = j.at("cc_window_decreases").as_uint();
   m.cc_timeout_retries = j.at("cc_timeout_retries").as_uint();
@@ -496,6 +505,8 @@ std::string metrics_csv_header() {
          "fault_node_downs,fault_channel_closures,fault_withhold_spells,"
          "fault_stale_spells,fault_units_failed,fault_reroutes,"
          "fault_withheld_acks,fault_stale_decisions,fault_backoff_retries,"
+         "fault_jam_spells,fault_jam_locked_volume,fault_grief_spells,"
+         "fault_griefed_acks,"
          "cc_marked_acks,cc_window_decreases,cc_timeout_retries,"
          "success_ratio,success_volume,"
          "mean_completion_latency,latency_p50,latency_p95,latency_p99";
@@ -538,6 +549,10 @@ std::string metrics_csv_row(const sim::Metrics& m) {
   add_u(m.fault_withheld_acks);
   add_u(m.fault_stale_decisions);
   add_u(m.fault_backoff_retries);
+  add_u(m.fault_jam_spells);
+  add_i(m.fault_jam_locked_volume);
+  add_u(m.fault_grief_spells);
+  add_u(m.fault_griefed_acks);
   add_u(m.cc_marked_acks);
   add_u(m.cc_window_decreases);
   add_u(m.cc_timeout_retries);
@@ -562,9 +577,9 @@ sim::Metrics metrics_from_csv_row(const std::string& row) {
     }
   }
   cols.push_back(cur);
-  constexpr std::size_t kColumns = 32;
+  constexpr std::size_t kColumns = 36;
   if (cols.size() != kColumns) {
-    throw std::runtime_error("metrics_from_csv_row: expected 32 columns, got " +
+    throw std::runtime_error("metrics_from_csv_row: expected 36 columns, got " +
                              std::to_string(cols.size()));
   }
   const auto get_u = [&](std::size_t i) -> std::uint64_t {
@@ -606,10 +621,14 @@ sim::Metrics metrics_from_csv_row(const std::string& row) {
   m.fault_withheld_acks = get_u(20);
   m.fault_stale_decisions = get_u(21);
   m.fault_backoff_retries = get_u(22);
-  m.cc_marked_acks = get_u(23);
-  m.cc_window_decreases = get_u(24);
-  m.cc_timeout_retries = get_u(25);
-  // Columns 26..31 are derived values; recomputed from the fields above.
+  m.fault_jam_spells = get_u(23);
+  m.fault_jam_locked_volume = get_i(24);
+  m.fault_grief_spells = get_u(25);
+  m.fault_griefed_acks = get_u(26);
+  m.cc_marked_acks = get_u(27);
+  m.cc_window_decreases = get_u(28);
+  m.cc_timeout_retries = get_u(29);
+  // Columns 30..35 are derived values; recomputed from the fields above.
   return m;
 }
 

@@ -12,6 +12,8 @@ std::string to_string(FaultKind k) {
     case FaultKind::kChannelClose: return "channel-close";
     case FaultKind::kWithhold: return "withhold";
     case FaultKind::kProbeStale: return "probe-stale";
+    case FaultKind::kJam: return "jam";
+    case FaultKind::kGrief: return "grief";
   }
   return "unknown";
 }
@@ -31,6 +33,7 @@ void FaultPlan::validate(const graph::Graph& g) const {
     switch (ev.kind) {
       case FaultKind::kNodeDown:
       case FaultKind::kWithhold:
+      case FaultKind::kGrief:
         if (ev.target >= g.node_count()) {
           throw std::invalid_argument("FaultPlan: node target out of range");
         }
@@ -46,6 +49,22 @@ void FaultPlan::validate(const graph::Graph& g) const {
               "FaultPlan: probe-stale events are network-wide (target 0)");
         }
         break;
+      case FaultKind::kJam:
+        if (ev.target >= g.edge_count()) {
+          throw std::invalid_argument("FaultPlan: jam target out of range");
+        }
+        if (!(ev.magnitude > 0) || ev.magnitude > 1) {
+          throw std::invalid_argument(
+              "FaultPlan: jam magnitude must be in (0, 1]");
+        }
+        if (!(ev.duration > 0)) {
+          throw std::invalid_argument("FaultPlan: jam duration must be > 0");
+        }
+        break;
+    }
+    if (ev.kind != FaultKind::kJam && ev.magnitude != 0) {
+      throw std::invalid_argument(
+          "FaultPlan: magnitude is only meaningful for jam events");
     }
   }
 }

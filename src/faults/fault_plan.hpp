@@ -25,6 +25,15 @@
 //                      and primal-dual routing read go stale for
 //                      `duration`: routing decisions use a snapshot of
 //                      channel state taken when the spike began.
+//
+// Adversarial extensions (DESIGN.md §13 service mode):
+//  * kJam           -- HTLC jamming: an attacker locks `magnitude` of
+//                      each side's spendable balance on the target
+//                      channel in HTLCs it never settles, aborting
+//                      (failing the locks back) when the spell ends.
+//  * kGrief         -- griefing: the target node max-holds every ack it
+//                      owes until the spell's deadline (a targeted,
+//                      deadline-anchored strengthening of kWithhold).
 
 #include <cstdint>
 #include <string>
@@ -40,6 +49,8 @@ enum class FaultKind : std::uint8_t {
   kChannelClose,
   kWithhold,
   kProbeStale,
+  kJam,
+  kGrief,
 };
 
 [[nodiscard]] std::string to_string(FaultKind k);
@@ -48,11 +59,14 @@ struct FaultEvent {
   /// Absolute simulation time the fault begins.
   core::TimePoint time = 0;
   FaultKind kind = FaultKind::kNodeDown;
-  /// NodeId for kNodeDown/kWithhold, EdgeId for kChannelClose; unused
-  /// (must be 0) for kProbeStale.
+  /// NodeId for kNodeDown/kWithhold/kGrief, EdgeId for
+  /// kChannelClose/kJam; unused (must be 0) for kProbeStale.
   std::uint32_t target = 0;
   /// Window length; ignored for kChannelClose (closures are permanent).
   core::TimePoint duration = 0;
+  /// kJam only: fraction of each side's spendable balance the attacker
+  /// locks, in (0, 1]. Must be 0 for every other kind.
+  double magnitude = 0;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };

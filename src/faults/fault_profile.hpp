@@ -12,11 +12,17 @@
 //   "churn=0.05,downtime=5,close=0.01,withhold=0.1,hold=2,
 //    stale=0.02,staledur=3,seed=7,horizon=200"
 //
+// Adversarial extensions (DESIGN.md §13) ride the same syntax:
+//
+//   "jam=0.05,jamhold=10,jamfrac=0.5,grief=0.02,griefhold=5,
+//    griefhubs=4,huboutage=0.01,hubdown=10,hubs=3"
+//
 // Every key is optional; omitted rates default to zero (no faults of
 // that kind) and `horizon<=0` means "use the simulation end time".
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
@@ -47,10 +53,34 @@ struct FaultProfile {
   /// Mean staleness spike length (exponential).
   double mean_stale = 2.0;
 
+  /// HTLC-jamming spells per second (adversary locks capacity on a
+  /// uniformly chosen channel and aborts at the spell deadline).
+  double jam_rate = 0.0;
+  /// Mean jam spell length (exponential).
+  double mean_jam = 10.0;
+  /// Fraction of each side's spendable balance a jam locks, in (0, 1].
+  double jam_frac = 0.5;
+
+  /// Griefing spells per second, aimed at the top-`grief_hubs` highest-
+  /// degree nodes (the adversary max-holds every ack the hub owes).
+  double grief_rate = 0.0;
+  /// Mean griefing spell length (exponential).
+  double mean_grief = 5.0;
+  std::uint32_t grief_hubs = 4;
+
+  /// Targeted hub outages per second: kNodeDown windows over the
+  /// top-`hubs` highest-degree nodes, drawn from their own salted
+  /// stream so enabling them never perturbs background churn.
+  double hub_outage_rate = 0.0;
+  /// Mean hub downtime window length (exponential).
+  double mean_hub_down = 10.0;
+  std::uint32_t hubs = 3;
+
   /// True when every rate is zero (the generated plan is empty).
   [[nodiscard]] bool quiet() const {
     return node_churn_rate <= 0 && channel_close_rate <= 0 &&
-           withhold_rate <= 0 && stale_rate <= 0;
+           withhold_rate <= 0 && stale_rate <= 0 && jam_rate <= 0 &&
+           grief_rate <= 0 && hub_outage_rate <= 0;
   }
 
   friend bool operator==(const FaultProfile&, const FaultProfile&) = default;
@@ -68,5 +98,11 @@ struct FaultProfile {
 
 /// Canonical spec string for `p` (parse_profile round-trips it).
 [[nodiscard]] std::string to_string(const FaultProfile& p);
+
+/// The `k` highest-degree nodes of `g` (degree descending, NodeId
+/// ascending on ties) -- the target pools for griefing and hub-outage
+/// schedules. Returns fewer than `k` entries on small graphs.
+[[nodiscard]] std::vector<std::uint32_t> top_degree_nodes(
+    const graph::Graph& g, std::uint32_t k);
 
 }  // namespace spider::faults

@@ -11,6 +11,8 @@ void FaultInjector::bind(const graph::Graph& g) {
   down_depth_.assign(g.node_count(), 0);
   closed_.assign(g.edge_count(), 0);
   withhold_until_.assign(g.node_count(), 0.0);
+  jam_depth_.assign(g.edge_count(), 0);
+  grief_until_.assign(g.node_count(), 0.0);
   stale_depth_ = 0;
 }
 
@@ -47,6 +49,18 @@ FaultInjector::Applied FaultInjector::apply(std::size_t index,
       out.until = now + ev.duration;
       out.needs_end_event = true;
       break;
+    case FaultKind::kJam:
+      out.became_active = jam_depth_[ev.target] == 0;
+      ++jam_depth_[ev.target];
+      out.until = now + ev.duration;
+      out.needs_end_event = true;
+      break;
+    case FaultKind::kGrief:
+      out.became_active = !(now < grief_until_[ev.target]);
+      grief_until_[ev.target] =
+          std::max(grief_until_[ev.target], now + ev.duration);
+      out.until = grief_until_[ev.target];
+      break;
   }
   return out;
 }
@@ -63,8 +77,14 @@ bool FaultInjector::expire(FaultKind kind, std::uint32_t target) {
         throw std::logic_error("FaultInjector: probe-stale underflow");
       }
       return --stale_depth_ == 0;
+    case FaultKind::kJam:
+      if (jam_depth_[target] == 0) {
+        throw std::logic_error("FaultInjector: jam underflow");
+      }
+      return --jam_depth_[target] == 0;
     case FaultKind::kChannelClose:
     case FaultKind::kWithhold:
+    case FaultKind::kGrief:
       return false;  // permanent / self-expiring; no end events
   }
   return false;

@@ -90,6 +90,16 @@ class FaultInjector {
     return withhold_until_[v];
   }
   [[nodiscard]] bool probes_stale() const { return stale_depth_ > 0; }
+  /// Jamming spell active on edge `e` (depth-counted like node-down).
+  [[nodiscard]] bool jam_active(graph::EdgeId e) const {
+    return jam_depth_[e] > 0;
+  }
+  [[nodiscard]] bool griefing(core::NodeId v, core::TimePoint now) const {
+    return now < grief_until_[v];
+  }
+  [[nodiscard]] core::TimePoint grief_until(core::NodeId v) const {
+    return grief_until_[v];
+  }
 
   /// True if `p` crosses a closed edge, a down forwarding node, or a
   /// down destination -- i.e. sending on it now is known to fail.
@@ -105,6 +115,10 @@ class FaultInjector {
   std::vector<std::uint8_t> closed_;
   /// Withholding spell deadline per node (0 = never withheld).
   std::vector<core::TimePoint> withhold_until_;
+  /// Overlapping-jam depth per edge (>0 = jammed).
+  std::vector<std::uint16_t> jam_depth_;
+  /// Griefing spell deadline per node (0 = never griefed).
+  std::vector<core::TimePoint> grief_until_;
   int stale_depth_ = 0;
 };
 

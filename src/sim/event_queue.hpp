@@ -168,6 +168,20 @@ class EventQueue {
   /// Events executed so far (monotone; the unit of events/sec benches).
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
+  /// FNV-1a over the clock, sequence counter, and every queued event
+  /// (time bits, meta, payload). The heap layout is a deterministic
+  /// function of the push/pop history, so two byte-identical runs
+  /// checksum identically at the same point; used by the service-mode
+  /// snapshot validation (DESIGN.md §13).
+  [[nodiscard]] std::uint64_t layout_checksum() const;
+
+  /// Like layout_checksum but over the pending events sorted by
+  /// sequence number -- a pure function of the *semantic* engine state,
+  /// so it agrees with ShardedEngine::canonical_checksum() at any shard
+  /// count (the engines queue the same event set with the same
+  /// sequence numbers at the same sim-time point).
+  [[nodiscard]] std::uint64_t canonical_checksum() const;
+
  private:
   void push_event(TimePoint t, EventKind kind, std::uint64_t a,
                   std::uint64_t b);

@@ -199,6 +199,13 @@ void FlowSimulator::send(core::PaymentId pid, core::Amount amt,
     delay = (faults_->withhold_until(st.req.dst) - events_.now()) + cfg_.delta;
     ++metrics_.fault_withheld_acks;
   }
+  if (faults_ != nullptr && faults_->griefing(st.req.dst, events_.now())) {
+    // A griefing receiver max-holds every settlement to its spell end.
+    const TimePoint griefed =
+        (faults_->grief_until(st.req.dst) - events_.now()) + cfg_.delta;
+    if (griefed > delay) delay = griefed;
+    ++metrics_.fault_griefed_acks;
+  }
   const core::SlabHandle h = live_sends_.acquire();
   LiveSend& ls = *live_sends_.get(h);
   ls.lock = std::move(lock);
@@ -353,6 +360,15 @@ void FlowSimulator::apply_fault(std::size_t index) {
     case faults::FaultKind::kProbeStale:
       ++metrics_.fault_stale_spells;
       if (ap.became_active) make_stale_snapshot();
+      break;
+    case faults::FaultKind::kJam:
+      // Capacity jamming is an HTLC-slot attack; the fluid model has no
+      // per-unit locks to jam, so the spell is counted but has no
+      // capacity effect here (the packet simulator models it fully).
+      ++metrics_.fault_jam_spells;
+      break;
+    case faults::FaultKind::kGrief:
+      ++metrics_.fault_grief_spells;
       break;
   }
 }

@@ -55,6 +55,16 @@ struct Metrics {
   std::uint64_t fault_stale_decisions = 0;  // routing calls on a stale snapshot
   std::uint64_t fault_backoff_retries = 0;  // retries deferred by backoff
 
+  /// Adversarial-scenario counters (zero unless the fault plan carries
+  /// kJam/kGrief events; see DESIGN.md §13). Jam spells lock a fraction
+  /// of a channel's spendable balance in attacker HTLCs until the spell
+  /// ends; grief spells hold acks at a target hub for the maximum
+  /// withholding window.
+  std::uint64_t fault_jam_spells = 0;       // HTLC-jamming spells begun
+  Amount fault_jam_locked_volume = 0;       // total volume locked by jams
+  std::uint64_t fault_grief_spells = 0;     // griefing spells begun
+  std::uint64_t fault_griefed_acks = 0;     // acks max-held by griefing
+
   /// Spider-cc telemetry (packet sim with cc_mode == kSpiderCc, zero
   /// otherwise): acks that carried the routers' one-bit congestion mark,
   /// multiplicative AIMD window decreases applied (marked acks plus

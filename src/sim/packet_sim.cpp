@@ -2,6 +2,7 @@
 // spider-lint: shard-state-file
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -19,7 +20,10 @@ namespace {
 /// preserves byte-identity.
 core::NodeId fault_anchor(const graph::Graph& g, faults::FaultKind kind,
                           std::uint32_t target) {
-  if (kind == faults::FaultKind::kChannelClose) return g.edge_u(target);
+  if (kind == faults::FaultKind::kChannelClose ||
+      kind == faults::FaultKind::kJam) {
+    return g.edge_u(target);
+  }
   return target < g.node_count() ? target : 0;
 }
 }  // namespace
@@ -93,6 +97,15 @@ void PacketSimulator::dispatch(void* ctx, EventKind kind, std::uint64_t a,
   auto* self = static_cast<PacketSimulator*>(ctx);
   switch (kind) {
     case EventKind::kArrival:
+      if (self->service_) {
+        // Pull-driven chaining: fetch the stream's next transaction
+        // before admitting this one. The pull point is a pure function
+        // of the event sequence, so run_service_until() chunk
+        // boundaries cannot perturb sequence assignment.
+        self->pull_next_arrival();
+        self->arrive(static_cast<core::PaymentId>(a));
+        break;
+      }
       // Chain the next arrival into the heap (reserved seq keeps the
       // global order identical to scheduling them all up front).
       ++self->next_arrival_;
@@ -536,6 +549,14 @@ void PacketSimulator::unit_reached_destination(core::SlabHandle h) {
     withheld = faults_->withhold_until(st.unit.dst) - now();
     ++metrics_.fault_withheld_acks;
   }
+  if (faults_ != nullptr && faults_->griefing(st.unit.dst, now())) {
+    // Griefing is the targeted, maximal form of withholding: the hub
+    // holds every ack it owes until the spell deadline. A concurrent
+    // withhold spell only strengthens to the later of the two.
+    const TimePoint griefed = faults_->grief_until(st.unit.dst) - now();
+    if (griefed > withheld) withheld = griefed;
+    ++metrics_.fault_griefed_acks;
+  }
   // The ack fires at the sender -- its shard owns the event.
   sched_in(st.unit.src, ack_delay + withheld, EventKind::kAck, h.packed());
 }
@@ -667,9 +688,16 @@ void PacketSimulator::apply_fault(std::size_t index) {
   const faults::FaultInjector::Applied ap = faults_->apply(index, now());
   ++metrics_.fault_events_applied;
   if (ap.needs_end_event) {
+    // Jam end events carry the *plan index* in the target slot: two
+    // overlapping jams on one edge must each release their own batch,
+    // which the edge id alone cannot distinguish.
+    const std::uint64_t payload =
+        ap.kind == faults::FaultKind::kJam
+            ? faults::FaultInjector::pack_end(
+                  ap.kind, static_cast<std::uint32_t>(index))
+            : faults::FaultInjector::pack_end(ap.kind, ap.target);
     sched_at(fault_anchor(graph_, ap.kind, ap.target), ap.until,
-             EventKind::kFaultEnd,
-             faults::FaultInjector::pack_end(ap.kind, ap.target));
+             EventKind::kFaultEnd, payload);
   }
   switch (ap.kind) {
     case faults::FaultKind::kNodeDown:
@@ -687,16 +715,78 @@ void PacketSimulator::apply_fault(std::size_t index) {
       ++metrics_.fault_stale_spells;
       if (ap.became_active) make_stale_snapshot();
       break;
+    case faults::FaultKind::kJam:
+      ++metrics_.fault_jam_spells;
+      start_jam(index);
+      break;
+    case faults::FaultKind::kGrief:
+      ++metrics_.fault_grief_spells;
+      break;
   }
 }
 
 void PacketSimulator::end_fault(std::uint64_t word) {
   const faults::FaultKind kind = faults::FaultInjector::unpack_end_kind(word);
   const std::uint32_t target = faults::FaultInjector::unpack_end_target(word);
+  if (kind == faults::FaultKind::kJam) {
+    // `target` is the plan index (see apply_fault); the jammed edge
+    // comes from the plan. The injector depth always decrements; the
+    // batch may already be gone if a channel close released it early.
+    const std::size_t index = target;
+    faults_->expire(kind, faults_->plan().at(index).target);
+    for (std::size_t i = 0; i < jam_batches_.size(); ++i) {
+      if (jam_batches_[i].plan_index == index) {
+        release_jam(i);
+        break;
+      }
+    }
+    return;
+  }
   if (!faults_->expire(kind, target)) return;  // overlapping window remains
   if (kind == faults::FaultKind::kProbeStale) stale_net_.reset();
   // A recovered node restarts with empty queues; its channels' funds
   // are serviced organically by the next settle/fail on each arc.
+}
+
+void PacketSimulator::start_jam(std::size_t index) {
+  const faults::FaultEvent& ev = faults_->plan().at(index);
+  const graph::EdgeId e = ev.target;
+  JamBatch batch;
+  batch.plan_index = index;
+  batch.edge = e;
+  if (!faults_->edge_closed(e)) {
+    core::Channel& ch = owned_channel(e);
+    for (const core::Side side : {core::Side::kA, core::Side::kB}) {
+      const auto lock = static_cast<core::Amount>(
+          ev.magnitude * static_cast<double>(ch.balance(side)));
+      if (lock <= 0) continue;
+      // The attacker never settles, so the lock hash only needs to be
+      // unique per (spell, side); derived from the plan index.
+      const core::LockHash hash = core::hash_preimage(
+          0x6a616dull ^ (static_cast<core::Preimage>(index) << 1) ^
+          static_cast<core::Preimage>(side == core::Side::kB ? 1 : 0));
+      const std::optional<core::HtlcId> h = ch.offer_htlc(side, lock, hash);
+      if (!h) continue;
+      batch.holds.emplace_back(*h, lock);
+      held_amount_ += lock;
+      metrics_.fault_jam_locked_volume += lock;
+    }
+  }
+  jam_batches_.push_back(std::move(batch));
+}
+
+void PacketSimulator::release_jam(std::size_t batch_index) {
+  const JamBatch batch = std::move(jam_batches_[batch_index]);
+  jam_batches_.erase(jam_batches_.begin() +
+                     static_cast<std::ptrdiff_t>(batch_index));
+  core::Channel& ch = owned_channel(batch.edge);
+  for (const auto& [hid, amount] : batch.holds) {
+    ch.fail_htlc(hid);  // abort at deadline: the lock refunds its side
+    held_amount_ -= amount;
+  }
+  // Freed funds can admit waiting units in both directions.
+  service_arc(2 * batch.edge);
+  service_arc(2 * batch.edge + 1);
 }
 
 void PacketSimulator::fail_node_queues(core::NodeId v) {
@@ -743,6 +833,20 @@ void PacketSimulator::close_channel(graph::EdgeId e) {
     }
   });
   for (const core::SlabHandle h : affected) fault_kill_unit(h);
+  // Attacker locks on the closing channel resolve as failed too (they
+  // are channel HTLCs like any other); release_jam erases the batch so
+  // the spell's own kFaultEnd later finds nothing to release.
+  bool found = true;
+  while (found) {
+    found = false;
+    for (std::size_t i = 0; i < jam_batches_.size(); ++i) {
+      if (jam_batches_[i].edge == e) {
+        release_jam(i);
+        found = true;
+        break;
+      }
+    }
+  }
 }
 
 void PacketSimulator::fault_kill_unit(core::SlabHandle h) {
@@ -843,9 +947,7 @@ std::optional<std::string> PacketSimulator::audit_queue_counters() const {
   return std::nullopt;
 }
 
-Metrics PacketSimulator::run() {
-  if (ran_) throw std::logic_error("PacketSimulator: run called twice");
-  ran_ = true;
+void PacketSimulator::begin_run() {
   if (cfg_.auditor != nullptr) arm_auditor();
   if (faults_ != nullptr) {
     // One typed event per plan entry, scheduled up front. An empty plan
@@ -859,6 +961,12 @@ Metrics PacketSimulator::run() {
                plan[i].time, EventKind::kFaultStart, i);
     }
   }
+}
+
+Metrics PacketSimulator::run() {
+  if (ran_) throw std::logic_error("PacketSimulator: run called twice");
+  ran_ = true;
+  begin_run();
   payment_units_.resize(requests_.size());
   for (core::PaymentId pid = 0; pid < requests_.size(); ++pid) {
     const core::PaymentRequest& req = requests_[pid];
@@ -913,6 +1021,182 @@ Metrics PacketSimulator::run() {
     }
   }
   return metrics_;
+}
+
+// --- service mode (DESIGN.md §13) ------------------------------------
+
+void PacketSimulator::start_service(ArrivalSource source, void* ctx) {
+  if (ran_) {
+    throw std::logic_error("PacketSimulator: start_service after run");
+  }
+  if (!requests_.empty()) {
+    throw std::logic_error(
+        "PacketSimulator: submit() and service mode are exclusive");
+  }
+  if (source == nullptr) {
+    throw std::invalid_argument("PacketSimulator: null arrival source");
+  }
+  ran_ = true;
+  service_ = true;
+  arrival_source_ = source;
+  arrival_ctx_ = ctx;
+  begin_run();
+  sched_at(0, cfg_.expiry_sweep_interval, EventKind::kExpirySweep);
+  if (cfg_.collect_series) {
+    metrics_.series_bucket = cfg_.series_bucket;
+    metrics_.channel_imbalance_series.assign(graph_.edge_count(), {});
+    sched_at(0, cfg_.series_bucket, EventKind::kSeriesSample);
+  }
+  // Prime the pump: the first pull happens here, every later pull
+  // happens inside the previous arrival's dispatch.
+  pull_next_arrival();
+}
+
+void PacketSimulator::pull_next_arrival() {
+  if (arrival_source_ == nullptr) return;
+  const std::optional<core::PaymentRequest> req = arrival_source_(arrival_ctx_);
+  if (!req.has_value() || req->arrival > cfg_.end_time) {
+    arrival_source_ = nullptr;  // stream exhausted (or ran past the run)
+    return;
+  }
+  stream_submit(*req);
+}
+
+core::PaymentId PacketSimulator::stream_submit(const core::PaymentRequest& req) {
+  if (!service_) {
+    throw std::logic_error("PacketSimulator: stream_submit outside service");
+  }
+  if (req.src >= graph_.node_count() || req.dst >= graph_.node_count() ||
+      req.src == req.dst) {
+    throw std::invalid_argument("PacketSimulator: bad streamed endpoints");
+  }
+  if (req.amount <= 0) {
+    throw std::invalid_argument("PacketSimulator: bad streamed amount");
+  }
+  if (req.arrival < now()) {
+    throw std::invalid_argument(
+        "PacketSimulator: streamed arrivals must be non-decreasing");
+  }
+  requests_.push_back(req);
+  const auto pid = static_cast<core::PaymentId>(requests_.size() - 1);
+  payment_units_.emplace_back();
+  classified_.push_back(0);
+  live_.push_back(pid);
+  peak_live_ = std::max(peak_live_, live_.size());
+  ++txns_streamed_;
+  ++metrics_.attempted;
+  metrics_.attempted_volume += req.amount;
+  sched_at(req.src, req.arrival, EventKind::kArrival, pid);
+  return pid;
+}
+
+void PacketSimulator::run_service_until(TimePoint t) {
+  if (!service_) {
+    throw std::logic_error("PacketSimulator: run_service_until outside service");
+  }
+  const TimePoint stop = std::min(t, cfg_.end_time);
+  if (pdes_ != nullptr) {
+    pdes_->run_until(stop);
+  } else {
+    events_.run_until(stop);
+  }
+}
+
+void PacketSimulator::classify_payment(core::PaymentId pid) {
+  if (classified_[pid] != 0) return;
+  classified_[pid] = 1;
+  const core::PaymentRequest& req = requests_[pid];
+  const core::Amount delivered = transports_[req.src]->delivered(pid);
+  if (delivered == req.amount) {
+    ++metrics_.succeeded;
+    metrics_.completed_volume += req.amount;
+  } else if (delivered > 0) {
+    ++metrics_.partial;
+  } else {
+    ++metrics_.failed;
+  }
+}
+
+std::size_t PacketSimulator::retire_resolved() {
+  if (!service_) {
+    throw std::logic_error("PacketSimulator: retire_resolved outside service");
+  }
+  std::size_t retired = 0;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < live_.size(); ++r) {
+    const core::PaymentId pid = live_[r];
+    // A streamed payment whose kArrival event is still in the future
+    // has no transport record yet; it is trivially unresolved.
+    if (requests_[pid].arrival > now()) {
+      live_[w++] = pid;
+      continue;
+    }
+    core::Transport& tp = *transports_[requests_[pid].src];
+    if (tp.resolved(pid)) {
+      // resolved => every unit confirmed or abandoned, i.e. no live
+      // slab entry and no queued router entry reference this payment;
+      // late ack/settle events no-op via the slab generation check and
+      // the emptied handle row.
+      classify_payment(pid);
+      tp.retire_payment(pid);
+      std::vector<std::uint64_t>().swap(payment_units_[pid]);
+      ++retired;
+    } else {
+      live_[w++] = pid;
+    }
+  }
+  live_.resize(w);
+  return retired;
+}
+
+const Metrics& PacketSimulator::finish_service() {
+  if (!service_) {
+    throw std::logic_error("PacketSimulator: finish_service outside service");
+  }
+  if (finished_service_) return metrics_;
+  finished_service_ = true;
+  run_service_until(cfg_.end_time);
+  if (cfg_.auditor != nullptr) {
+    cfg_.auditor->finish(now(), events_processed());
+  }
+  // Classify the unresolved remainder exactly as run() classifies
+  // everything at end_time (their records stay live for inspection).
+  for (const core::PaymentId pid : live_) classify_payment(pid);
+  return metrics_;
+}
+
+std::uint64_t PacketSimulator::state_checksum() const {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kPrime;
+  };
+  mix(std::bit_cast<std::uint64_t>(now()));
+  mix(events_processed());
+  mix(txns_streamed_);
+  mix(metrics_.attempted);
+  mix(metrics_.units_sent);
+  mix(metrics_.total_attempt_rounds);
+  mix(static_cast<std::uint64_t>(metrics_.delivered_volume));
+  mix(metrics_.fault_events_applied);
+  mix(static_cast<std::uint64_t>(total_queued_units_));
+  mix(static_cast<std::uint64_t>(total_queued_amount_));
+  mix(static_cast<std::uint64_t>(held_amount_));
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const core::Channel& ch = net_.channel(e);
+    mix(static_cast<std::uint64_t>(ch.balance(core::Side::kA)));
+    mix(static_cast<std::uint64_t>(ch.balance(core::Side::kB)));
+    mix(static_cast<std::uint64_t>(ch.pending(core::Side::kA)));
+    mix(static_cast<std::uint64_t>(ch.pending(core::Side::kB)));
+  }
+  // Canonical (seq-sorted) engine digest: agrees across shard counts
+  // and with the serial engine, so a snapshot taken at K shards
+  // validates on restore at K'.
+  mix(pdes_ != nullptr ? pdes_->canonical_checksum()
+                       : events_.canonical_checksum());
+  return h;
 }
 
 }  // namespace spider::sim

@@ -175,6 +175,59 @@ class PacketSimulator {
   /// Runs to end_time and reports metrics.
   Metrics run();
 
+  // --- service mode (DESIGN.md §13) --------------------------------
+  // A long-running driver pulls arrivals one at a time instead of
+  // pre-materializing a request vector: every kArrival dispatch first
+  // pulls the stream's next transaction (scheduling it as a typed
+  // event) and then admits the current one, so the pull points -- and
+  // therefore every sequence number -- are a function of the event
+  // sequence alone. run_service_until() chunking, metric-window
+  // boundaries, and snapshot points cannot perturb the event order,
+  // which is what makes replay-based snapshot/restore byte-identical.
+
+  /// Pulls the next arrival, or nullopt when the stream is exhausted.
+  /// Arrival times must be non-decreasing across calls (the stream
+  /// contract); a source returning an arrival past end_time ends the
+  /// stream.
+  using ArrivalSource = std::optional<core::PaymentRequest> (*)(void* ctx);
+
+  /// Enters service mode: arms the auditor/fault plan/sweeps exactly as
+  /// run() would, then primes the first pull. Mutually exclusive with
+  /// run() and submit(). `ctx` must outlive the service run.
+  void start_service(ArrivalSource source, void* ctx);
+
+  /// Advances the simulation to min(t, end_time). Resumable: call as
+  /// many times as the driver's window/snapshot schedule needs.
+  void run_service_until(TimePoint t);
+
+  /// Retires every live payment whose outcome is final (all units
+  /// confirmed or abandoned): classifies it into the metrics, frees its
+  /// transport record and unit-handle row. Call at deterministic points
+  /// only (window boundaries); returns how many were retired.
+  std::size_t retire_resolved();
+
+  /// Runs to end_time, finishes the auditor, classifies the unresolved
+  /// remainder, and returns the final metrics. Idempotent.
+  const Metrics& finish_service();
+
+  /// Cumulative metrics so far (valid any time in service mode; final
+  /// classification counters only move at retire/finish points).
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+  /// Payments admitted so far (== the stream's consumed transactions).
+  [[nodiscard]] std::uint64_t txns_streamed() const { return txns_streamed_; }
+  /// Live (admitted, not yet retired) payments right now / at peak.
+  [[nodiscard]] std::size_t live_payments() const { return live_.size(); }
+  [[nodiscard]] std::size_t peak_live_payments() const { return peak_live_; }
+
+  /// FNV-1a digest of the deterministic simulation state: clock, event
+  /// count, key metrics counters, per-edge balances and pending holds,
+  /// queue totals, and the engine's queued-event layout. Two byte-
+  /// identical runs agree on it at any same-time point; snapshot
+  /// restore validates against it.
+  [[nodiscard]] std::uint64_t state_checksum() const;
+  // ------------------------------------------------------------------
+
   [[nodiscard]] const core::ChannelNetwork& network() const { return net_; }
   [[nodiscard]] TimePoint now() const {
     return pdes_ != nullptr ? pdes_->now() : events_.now();
@@ -294,6 +347,19 @@ class PacketSimulator {
   }
   // ------------------------------------------------------------------
 
+  /// Shared run()/start_service() preamble: auditor, fault plan,
+  /// expiry sweep, series sampling.
+  void begin_run();
+  /// Admits one streamed request: allocates its payment id + unit row,
+  /// counts it attempted, and schedules its kArrival event.
+  core::PaymentId stream_submit(const core::PaymentRequest& req);
+  /// Pulls one transaction from the arrival source (nulling it on
+  /// exhaustion or past-end arrivals) and admits it.
+  void pull_next_arrival();
+  /// Final classification of payment `pid` (succeeded/partial/failed);
+  /// guarded so retire + finish never double-count.
+  void classify_payment(core::PaymentId pid);
+
   [[nodiscard]] PairState& pair_state(core::NodeId src, core::NodeId dst);
   /// Fills `ps.paths` on first use: from cfg_.paths when the table
   /// covers the pair, else edge-disjoint shortest paths over the frozen
@@ -368,6 +434,14 @@ class PacketSimulator {
   /// Fails one fault-affected unit, first removing its router-queue
   /// entry (if any) so no ghost entry can block a queue head.
   void fault_kill_unit(core::SlabHandle h);
+  /// Starts a jamming spell (plan entry `index`): locks the configured
+  /// fraction of each side's spendable balance in attacker HTLCs.
+  void start_jam(std::size_t index);
+  /// Ends a jamming spell: fails the batch's HTLCs (refunding the
+  /// attacker) and services both arcs. Exactly-once per batch -- the
+  /// spell's own kFaultEnd and a mid-spell channel close both route
+  /// here.
+  void release_jam(std::size_t batch_index);
   /// Freezes the widest-path availability signal for a staleness spike.
   void make_stale_snapshot();
   /// Registers the auditor's network binding and the packet-sim
@@ -432,6 +506,30 @@ class PacketSimulator {
 
   Metrics metrics_;
   bool ran_ = false;
+
+  // --- service mode -------------------------------------------------
+  bool service_ = false;
+  bool finished_service_ = false;
+  ArrivalSource arrival_source_ = nullptr;
+  void* arrival_ctx_ = nullptr;
+  std::uint64_t txns_streamed_ = 0;
+  /// Admitted, not-yet-retired payment ids (compacted in place by
+  /// retire_resolved; order is admission order, deterministic).
+  std::vector<core::PaymentId> live_;
+  std::size_t peak_live_ = 0;
+  /// 1 once the payment was counted succeeded/partial/failed.
+  std::vector<std::uint8_t> classified_;
+
+  /// One active jamming spell's locks. Batches append in apply order,
+  /// are scanned linearly (active spell counts are small), and are
+  /// erased on release -- erasure is what makes the end-of-spell /
+  /// mid-spell-channel-close release exactly-once.
+  struct JamBatch {
+    std::size_t plan_index = 0;
+    graph::EdgeId edge = 0;
+    std::vector<std::pair<core::HtlcId, core::Amount>> holds;
+  };
+  std::vector<JamBatch> jam_batches_;
 };
 
 }  // namespace spider::sim

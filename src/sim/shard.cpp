@@ -264,4 +264,45 @@ std::uint64_t ShardedEngine::layout_checksum() const {
   return h;
 }
 
+std::uint64_t ShardedEngine::canonical_checksum() const {
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kPrime;
+  };
+  std::uint64_t now_bits;
+  static_assert(sizeof(now_) == sizeof(now_bits));
+  std::memcpy(&now_bits, &now_, sizeof(now_bits));
+  mix(now_bits);
+  mix(next_seq_);
+  mix(processed_);
+  std::vector<SimEvent> pending;
+  for (const EventHeap& heap : heaps_) {
+    pending.insert(pending.end(), heap.entries().begin(),
+                   heap.entries().end());
+  }
+  for (std::uint32_t s = 0; s < plan_.shards(); ++s) {
+    pending.insert(pending.end(), run_[s].begin() + run_pos_[s],
+                   run_[s].end());
+  }
+  for (const std::vector<SimEvent>& box : outbox_) {
+    pending.insert(pending.end(), box.begin(), box.end());
+  }
+  pending.insert(pending.end(), hot_.entries().begin(), hot_.entries().end());
+  std::sort(
+      pending.begin(), pending.end(),
+      [](const SimEvent& x, const SimEvent& y) { return x.meta < y.meta; });
+  for (const SimEvent& ev : pending) {
+    std::uint64_t time_bits;
+    std::memcpy(&time_bits, &ev.time, sizeof(time_bits));
+    mix(time_bits);
+    mix(ev.meta);
+    mix(ev.a);
+    mix(ev.b);
+  }
+  return h;
+}
+
 }  // namespace spider::sim

@@ -170,6 +170,14 @@ class ShardedEngine {
   /// a deterministic schedule history; pinned by the engine tests.
   [[nodiscard]] std::uint64_t layout_checksum() const;
 
+  /// FNV-1a over (clock, sequence counter, processed count) and the
+  /// pending events sorted by sequence number -- independent of which
+  /// heap/mailbox/staged-run each event currently sits in, so the value
+  /// agrees with EventQueue::canonical_checksum() and across shard
+  /// counts at the same sim-time point. Snapshot validation keys on
+  /// this (DESIGN.md §13).
+  [[nodiscard]] std::uint64_t canonical_checksum() const;
+
  private:
   static constexpr std::uint32_t kEngineLane = ~std::uint32_t{0};
 

@@ -1,0 +1,464 @@
+// Adversarial-workload tests (DESIGN.md §13): HTLC jamming, griefing,
+// and targeted hub outages. Covers the profile/plan layer (new spec
+// keys, salted independent streams, hub targeting), the injector state
+// machine (jam depth, grief deadlines), and the simulator-level
+// properties the service mode leans on -- exactly-once release of
+// attacker holds under the strict auditor, conservation through
+// mid-spell channel closes, quiet-profile byte-identity, and success
+// monotonically non-increasing in the attacker's budget.
+
+#include "faults/fault_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "graph/topology.hpp"
+#include "schemes/schemes.hpp"
+#include "service/service.hpp"
+#include "sim/audit.hpp"
+#include "sim/flow_sim.hpp"
+#include "sim/packet_sim.hpp"
+
+namespace spider::faults {
+namespace {
+
+using core::Amount;
+using core::from_units;
+
+// ---------------------------------------------------------------------
+// Profile and plan layer.
+// ---------------------------------------------------------------------
+
+TEST(AdversarialProfile, SpecRoundTripsWithAdversarialKeys) {
+  FaultProfile p;
+  p.seed = 13;
+  p.horizon = 200.0;
+  p.jam_rate = 0.05;
+  p.mean_jam = 12.0;
+  p.jam_frac = 0.75;
+  p.grief_rate = 0.02;
+  p.mean_grief = 6.0;
+  p.grief_hubs = 5;
+  p.hub_outage_rate = 0.01;
+  p.mean_hub_down = 9.0;
+  p.hubs = 2;
+  EXPECT_EQ(parse_profile(to_string(p)), p);
+  EXPECT_FALSE(p.quiet());
+
+  const FaultProfile q = parse_profile(
+      "jam=0.05;jamhold=10;jamfrac=0.5;grief=0.02;griefhold=5;griefhubs=4;"
+      "huboutage=0.01;hubdown=10;hubs=3");
+  EXPECT_EQ(q.jam_rate, 0.05);
+  EXPECT_EQ(q.jam_frac, 0.5);
+  EXPECT_EQ(q.grief_hubs, 4u);
+  EXPECT_EQ(q.hubs, 3u);
+}
+
+TEST(AdversarialProfile, RejectsBadAdversarialValues) {
+  EXPECT_THROW((void)parse_profile("jamx=0.1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("jamfrac=abc"), std::invalid_argument);
+  const graph::Graph g = graph::topology::make_ring(8);
+  // jam_frac outside (0, 1] fails plan validation...
+  EXPECT_THROW(
+      (void)generate_plan(parse_profile("jam=0.2;jamfrac=1.5;horizon=50"), g),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)generate_plan(parse_profile("jam=0.2;jamfrac=0;horizon=50"), g),
+      std::invalid_argument);
+  // ...and a jamming schedule needs a positive mean spell length.
+  EXPECT_THROW(
+      (void)generate_plan(parse_profile("jam=0.2;jamhold=0;horizon=50"), g),
+      std::invalid_argument);
+}
+
+TEST(AdversarialProfile, FaultKindNamesAreStable) {
+  EXPECT_EQ(to_string(FaultKind::kJam), "jam");
+  EXPECT_EQ(to_string(FaultKind::kGrief), "grief");
+}
+
+TEST(AdversarialProfile, AdversarialKindsDrawIndependentStreams) {
+  // Enabling jam + grief must not perturb the churn schedule, and
+  // enabling hub outages must not perturb the jam schedule: every kind
+  // draws from its own salted engine.
+  const graph::Graph g = graph::topology::make_ring(8);
+  const auto events_of = [](const FaultPlan& plan, FaultKind k) {
+    std::vector<FaultEvent> out;
+    for (const FaultEvent& ev : plan.events()) {
+      if (ev.kind == k) out.push_back(ev);
+    }
+    return out;
+  };
+  const FaultPlan churn_only =
+      generate_plan(parse_profile("churn=0.2;downtime=3;seed=7;horizon=60"), g);
+  const FaultPlan with_attacks = generate_plan(
+      parse_profile("churn=0.2;downtime=3;jam=0.1;grief=0.1;seed=7;horizon=60"),
+      g);
+  EXPECT_EQ(events_of(churn_only, FaultKind::kNodeDown),
+            events_of(with_attacks, FaultKind::kNodeDown));
+  EXPECT_FALSE(events_of(with_attacks, FaultKind::kJam).empty());
+
+  const FaultPlan jam_only =
+      generate_plan(parse_profile("jam=0.1;seed=7;horizon=60"), g);
+  const FaultPlan jam_and_hubs = generate_plan(
+      parse_profile("jam=0.1;huboutage=0.2;hubdown=2;seed=7;horizon=60"), g);
+  EXPECT_EQ(events_of(jam_only, FaultKind::kJam),
+            events_of(jam_and_hubs, FaultKind::kJam));
+}
+
+TEST(TopDegreeNodes, OrdersByDegreeThenIdAndClamps) {
+  // line-4 degrees: 1, 2, 2, 1 -- the interior nodes lead, ties break
+  // by NodeId ascending.
+  const graph::Graph g = graph::topology::make_line(4);
+  EXPECT_EQ(top_degree_nodes(g, 2), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(top_degree_nodes(g, 10),
+            (std::vector<std::uint32_t>{1, 2, 0, 3}));
+  // Determinism: same inputs, same pool.
+  EXPECT_EQ(top_degree_nodes(g, 3), top_degree_nodes(g, 3));
+}
+
+TEST(AdversarialProfile, GriefAndHubOutagesTargetTopDegreeHubs) {
+  const graph::Graph g = graph::topology::make_scale_free(16, 2, 7);
+  {
+    const std::vector<std::uint32_t> pool = top_degree_nodes(g, 2);
+    const FaultPlan plan = generate_plan(
+        parse_profile("grief=0.3;griefhold=2;griefhubs=2;seed=11;horizon=60"),
+        g);
+    ASSERT_FALSE(plan.empty());
+    for (const FaultEvent& ev : plan.events()) {
+      EXPECT_EQ(ev.kind, FaultKind::kGrief);
+      EXPECT_TRUE(ev.target == pool[0] || ev.target == pool[1])
+          << "grief target " << ev.target;
+    }
+  }
+  {
+    const std::vector<std::uint32_t> pool = top_degree_nodes(g, 3);
+    const FaultPlan plan = generate_plan(
+        parse_profile("huboutage=0.3;hubdown=2;hubs=3;seed=11;horizon=60"), g);
+    ASSERT_FALSE(plan.empty());
+    for (const FaultEvent& ev : plan.events()) {
+      EXPECT_EQ(ev.kind, FaultKind::kNodeDown);
+      EXPECT_TRUE(ev.target == pool[0] || ev.target == pool[1] ||
+                  ev.target == pool[2])
+          << "hub-outage target " << ev.target;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Injector state machine.
+// ---------------------------------------------------------------------
+
+TEST(AdversarialInjector, JamDepthNestsAndUnderflowThrows) {
+  const graph::Graph g = graph::topology::make_line(3);
+  FaultPlan plan;
+  plan.add({1.0, FaultKind::kJam, 0, 5.0, 0.5});  // spell A: [1, 6)
+  plan.add({2.0, FaultKind::kJam, 0, 2.0, 0.25});  // spell B: [2, 4)
+  FaultInjector inj(plan);
+  inj.bind(g);
+
+  const auto a = inj.apply(0, 1.0);
+  EXPECT_TRUE(a.needs_end_event);
+  EXPECT_TRUE(a.became_active);
+  EXPECT_EQ(a.until, 6.0);
+  EXPECT_TRUE(inj.jam_active(0));
+
+  const auto b = inj.apply(1, 2.0);
+  EXPECT_FALSE(b.became_active);  // already jammed
+  EXPECT_FALSE(inj.expire(FaultKind::kJam, 0));  // B ends: A still holds
+  EXPECT_TRUE(inj.jam_active(0));
+  EXPECT_TRUE(inj.expire(FaultKind::kJam, 0));
+  EXPECT_FALSE(inj.jam_active(0));
+  EXPECT_THROW(inj.expire(FaultKind::kJam, 0), std::logic_error);
+}
+
+TEST(AdversarialInjector, GriefKeepsTheMaxDeadlineAndSelfExpires) {
+  const graph::Graph g = graph::topology::make_line(3);
+  FaultPlan plan;
+  plan.add({1.0, FaultKind::kGrief, 1, 5.0});  // grief until t=6
+  plan.add({2.0, FaultKind::kGrief, 1, 1.0});  // shorter: keeps the max
+  FaultInjector inj(plan);
+  inj.bind(g);
+
+  const auto a = inj.apply(0, 1.0);
+  EXPECT_FALSE(a.needs_end_event);  // self-expires by timestamp
+  EXPECT_EQ(a.until, 6.0);
+  const auto b = inj.apply(1, 2.0);
+  EXPECT_FALSE(b.became_active);
+  EXPECT_EQ(inj.grief_until(1), 6.0);
+  EXPECT_TRUE(inj.griefing(1, 5.9));
+  EXPECT_FALSE(inj.griefing(1, 6.0));
+  EXPECT_FALSE(inj.expire(FaultKind::kGrief, 1));  // never an end event
+
+  inj.bind(g);  // reset for the next run
+  EXPECT_FALSE(inj.griefing(1, 5.9));
+}
+
+// ---------------------------------------------------------------------
+// Simulator-level properties.
+// ---------------------------------------------------------------------
+
+sim::Metrics run_packet(const graph::Graph& g, FaultInjector* inj) {
+  sim::PacketSimConfig cfg;
+  cfg.end_time = 40.0;
+  cfg.seed = 3;
+  cfg.faults = inj;
+  sim::PacketSimulator sim(
+      g, std::vector<Amount>(g.edge_count(), from_units(50)), cfg);
+  core::PaymentRequest req;
+  for (core::NodeId v = 0; v < 8; ++v) {
+    req.src = v;
+    req.dst = (v + 3) % 8;
+    req.amount = from_units(30);
+    req.arrival = 0.5 * static_cast<double>(v);
+    req.deadline = req.arrival + 20.0;
+    sim.submit(req);
+  }
+  return sim.run();
+}
+
+TEST(AdversarialDifferential, QuietAdversarialProfileIsByteIdentical) {
+  // All-zero adversarial rates (non-empty spec, empty generated plan)
+  // must leave the run bit-for-bit identical to one with no injector.
+  const graph::Graph g = graph::topology::make_ring(8);
+  const FaultProfile p =
+      parse_profile("jam=0;grief=0;huboutage=0;churn=0;horizon=40");
+  EXPECT_TRUE(p.quiet());
+  FaultInjector quiet(generate_plan(p, g));
+  const sim::Metrics without = run_packet(g, nullptr);
+  const sim::Metrics with_quiet = run_packet(g, &quiet);
+  EXPECT_EQ(without, with_quiet);
+  EXPECT_EQ(with_quiet.fault_events_applied, 0u);
+}
+
+/// Every channel conserves escrow and carries no residual holds.
+void expect_conserved(const sim::PacketSimulator& sim, const graph::Graph& g,
+                      const std::vector<Amount>& caps) {
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const core::Channel& ch = sim.network().channel(e);
+    EXPECT_EQ(ch.pending(core::Side::kA), 0) << "edge " << e;
+    EXPECT_EQ(ch.pending(core::Side::kB), 0) << "edge " << e;
+    EXPECT_EQ(ch.balance(core::Side::kA) + ch.balance(core::Side::kB),
+              caps[e])
+        << "edge " << e;
+  }
+}
+
+TEST(AdversarialJam, HoldsReleaseExactlyOnceAndConserve) {
+  // Three overlapping jam spells on one edge, payments contending for
+  // the jammed funds, the strict auditor between every two events. At
+  // the end every attacker hold must have refunded exactly once: a
+  // double release would inflate a balance above the escrow, a leak
+  // would leave pending != 0.
+  const graph::Graph g = graph::topology::make_line(3);
+  const std::vector<Amount> caps(g.edge_count(), from_units(40));
+  FaultPlan plan;
+  plan.add({0.5, FaultKind::kJam, 1, 10.0, 0.6});
+  plan.add({2.0, FaultKind::kJam, 1, 3.0, 0.5});
+  plan.add({3.0, FaultKind::kJam, 1, 12.0, 0.3});
+  FaultInjector inj(plan);
+
+  sim::AuditConfig acfg;
+  acfg.check_every_events = 1;
+  acfg.throw_on_violation = true;
+  sim::InvariantAuditor auditor(acfg);
+
+  sim::PacketSimConfig cfg;
+  cfg.end_time = 30.0;
+  cfg.faults = &inj;
+  cfg.auditor = &auditor;
+  sim::PacketSimulator sim(g, caps, cfg);
+  core::PaymentRequest req;
+  req.src = 0;
+  req.dst = 2;
+  for (std::size_t i = 0; i < 3; ++i) {
+    req.amount = from_units(9);
+    req.arrival = 1.0 + static_cast<double>(i);
+    // Deadlines sit well past the last spell end (t=15): units queued
+    // behind the jam settle once it releases, with no unit in flight
+    // near its own deadline (a post-deadline confirm would let the
+    // sender withhold the key and the hold stay pending by design).
+    req.deadline = req.arrival + 25.0;
+    sim.submit(req);
+  }
+  const sim::Metrics m = sim.run();
+  EXPECT_EQ(m.fault_jam_spells, 3u);
+  EXPECT_GT(m.fault_jam_locked_volume, 0);
+  EXPECT_EQ(sim.queued_units(), 0u);
+  EXPECT_TRUE(auditor.ok()) << auditor.summary();
+  expect_conserved(sim, g, caps);
+}
+
+TEST(AdversarialJam, MidSpellChannelCloseReleasesHoldsExactlyOnce) {
+  // The channel closes while jammed: the close fails the attacker locks
+  // back (they are channel HTLCs like any other) and erases the batch,
+  // so the spell's own end event must find nothing to release. The
+  // every-event auditor plus final conservation pin exactly-once.
+  const graph::Graph g = graph::topology::make_ring(4);
+  const std::vector<Amount> caps(g.edge_count(), from_units(40));
+  FaultPlan plan;
+  plan.add({1.0, FaultKind::kJam, 0, 10.0, 0.7});   // spell [1, 11)
+  plan.add({3.0, FaultKind::kChannelClose, 0, 0.0});  // closes mid-spell
+  FaultInjector inj(plan);
+
+  sim::AuditConfig acfg;
+  acfg.check_every_events = 1;
+  acfg.throw_on_violation = true;
+  sim::InvariantAuditor auditor(acfg);
+
+  sim::PacketSimConfig cfg;
+  cfg.end_time = 25.0;
+  cfg.faults = &inj;
+  cfg.auditor = &auditor;
+  sim::PacketSimulator sim(g, caps, cfg);
+  core::PaymentRequest req;
+  for (core::NodeId v = 0; v < 4; ++v) {
+    req.src = v;
+    req.dst = (v + 2) % 4;
+    req.amount = from_units(15);
+    req.arrival = 0.25 * static_cast<double>(v);
+    req.deadline = req.arrival + 15.0;
+    sim.submit(req);
+  }
+  const sim::Metrics m = sim.run();
+  EXPECT_EQ(m.fault_jam_spells, 1u);
+  EXPECT_EQ(m.fault_channel_closures, 1u);
+  EXPECT_GT(m.fault_jam_locked_volume, 0);
+  EXPECT_TRUE(auditor.ok()) << auditor.summary();
+  expect_conserved(sim, g, caps);
+}
+
+TEST(AdversarialJam, DeliveredVolumeIsNonIncreasingInJamBudget) {
+  // Same payments, same schedule, only the attacker's budget (the
+  // locked fraction) grows: 0.1 -> 0.5 -> 0.95 of each side's balance
+  // on the middle channel of a line. Delivered value must be monotone
+  // non-increasing, and the max budget must strictly hurt.
+  const graph::Graph g = graph::topology::make_line(3);
+  const std::vector<Amount> caps(g.edge_count(), from_units(40));
+  const auto run_with_budget = [&](double frac) {
+    FaultPlan plan;
+    plan.add({0.2, FaultKind::kJam, 1, 28.0, frac});  // spans the run
+    FaultInjector inj(plan);
+    sim::PacketSimConfig cfg;
+    cfg.end_time = 30.0;
+    cfg.faults = &inj;
+    sim::PacketSimulator sim(g, caps, cfg);
+    core::PaymentRequest req;
+    req.src = 0;
+    req.dst = 2;
+    for (std::size_t i = 0; i < 2; ++i) {
+      req.amount = from_units(9);
+      req.arrival = 1.0 + static_cast<double>(i);
+      req.deadline = req.arrival + 8.0;
+      sim.submit(req);
+    }
+    return sim.run();
+  };
+  const sim::Metrics light = run_with_budget(0.1);
+  const sim::Metrics medium = run_with_budget(0.5);
+  const sim::Metrics heavy = run_with_budget(0.95);
+  EXPECT_GE(light.delivered_volume, medium.delivered_volume);
+  EXPECT_GE(medium.delivered_volume, heavy.delivered_volume);
+  EXPECT_GT(light.delivered_volume, heavy.delivered_volume);
+  EXPECT_GE(light.succeeded, medium.succeeded);
+  EXPECT_GE(medium.succeeded, heavy.succeeded);
+}
+
+TEST(AdversarialGrief, PacketAcksAreHeldUntilTheSpellExpires) {
+  // The destination griefs [0.5, 8.5): every ack it owes is max-held to
+  // the spell deadline, so the payment completes only after t=8.5 and
+  // its latency spans the spell.
+  const graph::Graph g = graph::topology::make_line(2);
+  FaultPlan plan;
+  plan.add({0.5, FaultKind::kGrief, 1, 8.0});
+  FaultInjector inj(plan);
+
+  sim::AuditConfig acfg;
+  acfg.check_every_events = 1;
+  acfg.throw_on_violation = true;
+  sim::InvariantAuditor auditor(acfg);
+
+  sim::PacketSimConfig cfg;
+  cfg.end_time = 20.0;
+  cfg.faults = &inj;
+  cfg.auditor = &auditor;
+  sim::PacketSimulator sim(g, std::vector<Amount>(1, from_units(50)), cfg);
+  core::PaymentRequest req;
+  req.src = 0;
+  req.dst = 1;
+  req.amount = from_units(10);
+  req.arrival = 1.0;
+  req.deadline = 15.0;  // past the spell: the payment still succeeds
+  sim.submit(req);
+  const sim::Metrics m = sim.run();
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.fault_grief_spells, 1u);
+  EXPECT_GE(m.fault_griefed_acks, 1u);
+  EXPECT_GE(m.mean_completion_latency(), 6.0);
+  EXPECT_TRUE(auditor.ok()) << auditor.summary();
+}
+
+TEST(AdversarialGrief, FlowSimCountsAndDelaysGriefedAcks) {
+  const graph::Graph g = graph::topology::make_line(2);
+  FaultPlan plan;
+  plan.add({0.5, FaultKind::kGrief, 1, 6.0});  // dst griefs [0.5, 6.5)
+  FaultInjector inj(plan);
+
+  schemes::ShortestPathScheme scheme;
+  sim::FlowSimConfig cfg;
+  cfg.end_time = 20.0;
+  cfg.faults = &inj;
+  sim::FlowSimulator fs(g, std::vector<Amount>(1, from_units(100)), scheme,
+                        cfg);
+  core::PaymentRequest req;
+  req.src = 0;
+  req.dst = 1;
+  req.amount = from_units(10);
+  req.arrival = 1.0;
+  fs.add_payment(req);
+  const sim::Metrics m = fs.run(fluid::PaymentGraph(g.node_count()));
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(m.fault_grief_spells, 1u);
+  EXPECT_GE(m.fault_griefed_acks, 1u);
+  EXPECT_GE(m.mean_completion_latency(), 5.0);
+}
+
+// ---------------------------------------------------------------------
+// Service-level: the whole adversarial pipeline end to end.
+// ---------------------------------------------------------------------
+
+TEST(AdversarialService, AdversarialRunsAreDeterministicAndDegrade) {
+  service::ServiceConfig cfg;
+  cfg.topology = "scalefree-24";
+  cfg.capacity_units = 600.0;
+  cfg.duration = 120.0;
+  cfg.window = 30.0;
+  cfg.seed = 4;
+  cfg.workload = "steady;rate=5;seed=8";
+  cfg.adversary =
+      "jam=0.08;jamfrac=0.6;grief=0.05;griefhold=4;huboutage=0.03;seed=9";
+  cfg.audit = true;
+
+  service::Service a(cfg);
+  service::Service b(cfg);
+  const sim::Metrics& ma = a.finish();
+  EXPECT_EQ(ma, b.finish());
+  EXPECT_EQ(a.state_checksum(), b.state_checksum());
+  EXPECT_GT(ma.fault_jam_spells, 0u);
+  EXPECT_GT(ma.fault_grief_spells, 0u);
+  EXPECT_GT(ma.fault_node_downs, 0u);  // hub outages fire as node-downs
+  EXPECT_GT(ma.fault_jam_locked_volume, 0);
+
+  // The attack hurts, it never helps: delivered value cannot exceed the
+  // quiet run's.
+  service::ServiceConfig quiet = cfg;
+  quiet.adversary.clear();
+  service::Service q(quiet);
+  EXPECT_LE(ma.delivered_volume, q.finish().delivered_volume);
+}
+
+}  // namespace
+}  // namespace spider::faults

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "sim/audit.hpp"
 #include "sim/metrics.hpp"
 #include "sim/packet_sim.hpp"
+#include "workload/stream.hpp"
 
 namespace spider {
 namespace {
@@ -30,17 +33,27 @@ constexpr std::size_t kFlowSchedules = 100;
 constexpr std::size_t kPacketSchedules = 100;
 
 /// Aggressive profile spec varying by seed: every third case drops one
-/// fault family so absence is fuzzed too, not just presence.
+/// fault family so absence is fuzzed too, not just presence. The
+/// adversarial families (HTLC jamming, griefing, targeted hub outages)
+/// cycle on their own moduli so every background/attack combination
+/// appears across the schedules.
 std::string chaos_profile(std::size_t seed) {
-  char spec[160];
+  char spec[256];
   const double churn = (seed % 3 == 0) ? 0.0 : 0.3;
   const double close = (seed % 3 == 1) ? 0.0 : 0.04;
   const double withhold = (seed % 3 == 2) ? 0.0 : 0.3;
   const double stale = (seed % 2 == 0) ? 0.15 : 0.0;
+  const double jam = (seed % 4 == 0) ? 0.0 : 0.12;
+  const double jamfrac = 0.25 + 0.25 * static_cast<double>(seed % 4);
+  const double grief = (seed % 5 == 0) ? 0.0 : 0.1;
+  const double huboutage = (seed % 4 == 2) ? 0.12 : 0.0;
   std::snprintf(spec, sizeof spec,
                 "churn=%g;downtime=2;close=%g;withhold=%g;hold=1;stale=%g;"
-                "staledur=2;seed=%zu",
-                churn, close, withhold, stale, seed);
+                "staledur=2;jam=%g;jamhold=3;jamfrac=%g;grief=%g;"
+                "griefhold=2;griefhubs=3;huboutage=%g;hubdown=2;hubs=2;"
+                "seed=%zu",
+                churn, close, withhold, stale, jam, jamfrac, grief, huboutage,
+                seed);
   return spec;
 }
 
@@ -273,6 +286,111 @@ TEST(ChaosPacket, ForeignShardHtlcExpiryReleasesHoldExactlyOnce) {
     serial.submit(req);
   }
   EXPECT_EQ(serial.run(), m);
+}
+
+// ---------------------------------------------------------------------
+// Service-mode chaos: the same fault storms against the streaming
+// driver, cycling all three synthetic stream generators. The driver is
+// exercised at the PacketSimulator service API so the strict throwing
+// auditor rides along, and the run is advanced in seed-dependent chunks
+// with periodic retirement -- chunk boundaries and retirement must
+// never perturb outcomes (the pull points are a pure function of the
+// event sequence).
+// ---------------------------------------------------------------------
+
+std::optional<core::PaymentRequest> pull_stream(void* ctx) {
+  auto* stream = static_cast<workload::StreamGenerator*>(ctx);
+  const std::optional<workload::Transaction> tx = stream->next();
+  if (!tx.has_value()) return std::nullopt;
+  core::PaymentRequest req;
+  req.src = tx->src;
+  req.dst = tx->dst;
+  req.amount = tx->amount;
+  req.arrival = tx->arrival;
+  req.deadline = tx->arrival + 8.0;
+  return req;
+}
+
+/// One streamed chaos run; `chunk` sets the run_service_until stride.
+struct ServiceChaosResult {
+  sim::Metrics metrics;
+  std::uint64_t checksum = 0;
+  std::uint64_t txns = 0;
+};
+
+ServiceChaosResult run_service_chaos(std::size_t seed, std::uint32_t shards,
+                                     double chunk) {
+  const graph::Graph g = (seed % 2 == 0) ? graph::topology::make_ring(8)
+                                         : graph::topology::make_line(6);
+  static const char* const kStreams[] = {
+      "steady;rate=6;seed=%zu",
+      "diurnal;rate=6;amp=0.7;period=12;seed=%zu",
+      "flash;rate=4;boost=6;every=8;blen=3;seed=%zu",
+  };
+  char spec[96];
+  std::snprintf(spec, sizeof spec, kStreams[seed % 3], 300 + seed);
+  std::unique_ptr<workload::StreamGenerator> stream =
+      workload::make_stream(spec, g);
+
+  faults::FaultProfile profile = faults::parse_profile(chaos_profile(seed));
+  profile.horizon = 25.0;
+  faults::FaultInjector injector(faults::generate_plan(profile, g));
+
+  sim::AuditConfig acfg;
+  acfg.check_every_events = 64;
+  acfg.throw_on_violation = true;
+  sim::InvariantAuditor auditor(acfg);
+
+  sim::PacketSimConfig cfg;
+  cfg.end_time = 25.0;
+  cfg.seed = 2000 + seed;
+  if (seed % 3 == 2) cfg.cc_mode = sim::CongestionControlMode::kSpiderCc;
+  cfg.faults = &injector;
+  cfg.auditor = &auditor;
+  cfg.shards = shards;
+  sim::PacketSimulator sim(
+      g,
+      std::vector<core::Amount>(g.edge_count(), core::from_units(60)),
+      cfg);
+  sim.start_service(&pull_stream, stream.get());
+  for (double t = chunk; t < 25.0; t += chunk) {
+    sim.run_service_until(t);
+    (void)sim.retire_resolved();
+  }
+  ServiceChaosResult r;
+  r.metrics = sim.finish_service();
+  r.checksum = sim.state_checksum();
+  r.txns = sim.txns_streamed();
+  return r;
+}
+
+TEST(ChaosService, StreamedSchedulesKeepInvariantsUnderStrictAudit) {
+  // 100 seeded schedules x {steady, diurnal, flash} generators x the
+  // shard cycle, all under the throwing auditor.
+  constexpr std::uint32_t kShardCycle[] = {0, 1, 2, 4};
+  for (std::size_t seed = 0; seed < 100; ++seed) {
+    const double chunk = 1.0 + 0.5 * static_cast<double>(seed % 5);
+    ASSERT_NO_THROW(
+        (void)run_service_chaos(seed, kShardCycle[seed % 4], chunk))
+        << "schedule seed " << seed << " shards " << kShardCycle[seed % 4]
+        << " profile " << chaos_profile(seed);
+  }
+}
+
+TEST(ChaosService, ChunkingAndShardsNeverChangeStreamedOutcomes) {
+  // Same seed, different driver strides and shard counts: metrics,
+  // stream position, and the canonical state checksum must all match.
+  for (std::size_t seed = 0; seed < 6; ++seed) {
+    const ServiceChaosResult ref = run_service_chaos(seed, 0, 25.0);
+    EXPECT_GT(ref.txns, 0u) << "seed " << seed;
+    const ServiceChaosResult fine = run_service_chaos(seed, 0, 0.7);
+    EXPECT_EQ(fine.metrics, ref.metrics) << "seed " << seed;
+    EXPECT_EQ(fine.checksum, ref.checksum) << "seed " << seed;
+    EXPECT_EQ(fine.txns, ref.txns) << "seed " << seed;
+    const ServiceChaosResult sharded = run_service_chaos(seed, 2, 3.0);
+    EXPECT_EQ(sharded.metrics, ref.metrics) << "seed " << seed;
+    EXPECT_EQ(sharded.checksum, ref.checksum) << "seed " << seed;
+  }
 }
 
 TEST(ChaosPacket, AuditedShardedRunSeesMailboxResidentEvents) {
